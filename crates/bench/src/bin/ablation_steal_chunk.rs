@@ -1,0 +1,42 @@
+//! **Ablation**: the steal-chunk cap (paper §IV-C1a).
+//!
+//! GASNet's `AMMedium` payload bounds what one shipped steal can carry —
+//! at most 9 work descriptors in the paper's prototype. This ablation
+//! sweeps the cap in the UTS simulation: tiny chunks mean many fruitless
+//! round trips; very large chunks de-randomize the balance (victims get
+//! drained wholesale) without helping runtime much.
+
+use bench::{fmt_ns, print_table, scaled_tree};
+use caf_sim::{run_uts_sim, UtsSimConfig};
+
+fn main() {
+    let spec = scaled_tree(11);
+    let p = 512;
+    let mut rows = Vec::new();
+    for chunk in [1usize, 3, 9, 27, 81, 243] {
+        let mut cfg = UtsSimConfig::new(spec, p);
+        cfg.node_cost_ns = 20_000;
+        cfg.steal_chunk = chunk;
+        let r = run_uts_sim(cfg);
+        let rel = r.relative_work();
+        let spread = rel.iter().cloned().fold(f64::MIN, f64::max)
+            - rel.iter().cloned().fold(f64::MAX, f64::min);
+        rows.push(vec![
+            chunk.to_string(),
+            fmt_ns(r.sim_time_ns),
+            format!("{:.2}", r.efficiency(p, 20_000)),
+            r.messages.to_string(),
+            r.steals.to_string(),
+            format!("{spread:.3}"),
+        ]);
+    }
+    print_table(
+        &format!("Steal-chunk ablation (simulated UTS, {p} images)"),
+        &["chunk", "T_p", "efficiency", "messages", "steals", "balance spread"],
+        &rows,
+    );
+    println!(
+        "The paper's prototype was pinned at 9 by AMMedium; the sweep shows the trade-off \
+         that constraint sits inside (message volume vs. steal effectiveness)."
+    );
+}

@@ -1,0 +1,78 @@
+//! **Ablation**: collective topology inside the `finish` allreduce.
+//!
+//! The paper's O((L+1) log p) bound assumes a logarithmic reduction tree.
+//! This ablation measures the real threaded allreduce latency against
+//! image count, and models the alternative shapes (flat star, chain) to
+//! show why the binomial tree is the right substrate for termination
+//! detection.
+
+use std::time::Instant;
+
+use bench::{fmt_ns, print_table};
+use caf_des::SimNet;
+use caf_core::rng::SplitMix64;
+use caf_runtime::{CommMode, NetworkModel, Runtime, RuntimeConfig};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Measured: threaded allreduce latency vs. image count.
+    // ------------------------------------------------------------------
+    let iters = 300u32;
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 8, 16] {
+        let cfg = RuntimeConfig {
+            comm_mode: CommMode::DedicatedThread,
+            network: NetworkModel::slow_cluster(),
+            ..RuntimeConfig::default()
+        };
+        let times = Runtime::launch(p, cfg, |img| {
+            let w = img.world();
+            img.barrier(&w);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                let _ = img.allreduce(&w, 1i64, |a, b| a + b);
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        });
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        rows.push(vec![p.to_string(), format!("{:.1} µs", mean * 1e6)]);
+    }
+    print_table(
+        "Measured threaded allreduce latency (binomial reduce + broadcast)",
+        &["images", "per allreduce"],
+        &rows,
+    );
+
+    // ------------------------------------------------------------------
+    // Modelled: critical path of one wave under three tree shapes.
+    // ------------------------------------------------------------------
+    let net = SimNet::gemini_like();
+    let mut rng = SplitMix64::new(1);
+    let hop = net.delivery_delay(16, &mut rng);
+    let mut rows = Vec::new();
+    for p in [128usize, 1024, 8192, 32768] {
+        let log = caf_core::topology::log2_rounds(p) as u64;
+        let binomial = 2 * log * hop;
+        // Flat star: the root serializes p-1 receives at injection rate,
+        // then p-1 sends.
+        let flat = 2 * ((p as u64 - 1) * net.injection_ns + hop);
+        // Chain: 2(p-1) sequential hops.
+        let chain = 2 * (p as u64 - 1) * hop;
+        rows.push(vec![
+            p.to_string(),
+            fmt_ns(binomial),
+            fmt_ns(flat),
+            fmt_ns(chain),
+            format!("{:.0}x", chain as f64 / binomial as f64),
+        ]);
+    }
+    print_table(
+        "Modelled single-wave critical path by tree shape",
+        &["images", "binomial (ours)", "flat star", "chain", "chain/binomial"],
+        &rows,
+    );
+    println!(
+        "Termination detection runs up to L+1 waves per finish: only the logarithmic tree \
+         keeps the paper's O((L+1) log p) bound."
+    );
+}

@@ -1,0 +1,54 @@
+//! **Figure 5** (semantics): why a barrier cannot detect termination.
+//!
+//! Paper: image p ships f1 to q; f1 ships f2 to r; p enters the barrier
+//! once f1 completes, and r may exit the barrier before f2 arrives — so
+//! a barrier-based scheme declares termination with work in flight. This
+//! harness runs the exact schedule against the barrier strawman (which
+//! fails) and against the epoch `finish` detector (which is sound), over
+//! a sweep of network delays and transitive-chain depths.
+
+use bench::print_table;
+use caf_core::termination::harness::{chain, Harness, SpawnPlan};
+use caf_core::termination::EpochDetector;
+
+fn main() {
+    let mut rows = Vec::new();
+    for depth in [2usize, 3, 5] {
+        for exec_delay in [2u64, 5, 20] {
+            let mut plan = SpawnPlan { net_delay: 1, ack_delay: 1, exec_delay, ..SpawnPlan::default() };
+            let targets: Vec<usize> = (1..=depth).collect();
+            plan.spawn(0, chain(&targets));
+            let images = depth + 1;
+
+            let barrier = Harness::run_barrier(images, plan.clone());
+            let mut h = Harness::new(images, || Box::new(EpochDetector::new(true)));
+            let waves = h.run(plan); // panics if finish were unsound
+
+            rows.push(vec![
+                depth.to_string(),
+                exec_delay.to_string(),
+                barrier.outstanding_at_declaration.to_string(),
+                if barrier.outstanding_at_declaration > 0 { "WRONG" } else { "ok" }.to_string(),
+                waves.to_string(),
+                format!("≤ {}", depth + 1),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 5: barrier-based detection vs finish on transitive spawn chains",
+        &[
+            "chain L",
+            "exec delay",
+            "outstanding at barrier exit",
+            "barrier verdict",
+            "finish waves",
+            "Theorem 1 bound",
+        ],
+        &rows,
+    );
+    println!(
+        "The barrier declares termination with shipped functions still outstanding on every \
+         schedule above; finish never does (the harness asserts soundness) and stays within \
+         the L+1 wave bound."
+    );
+}

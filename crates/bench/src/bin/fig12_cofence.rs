@@ -1,0 +1,142 @@
+//! **Figure 12**: the cofence micro-benchmark.
+//!
+//! Paper: a producer sends five 80-byte `copy_async`es per iteration to
+//! random images, 10⁶ iterations, completing each iteration with either a
+//! `cofence` (local data completion), `event_wait` (local operation
+//! completion), or an inner `finish` (global completion). Measured on
+//! 128–1024 cores of a Cray XK6: cofence 36→42 s, events 40→52 s,
+//! finish 61→119 s. The claims to reproduce: **cofence < events <
+//! finish at every scale**, and the finish variant's cost **grows with
+//! core count** (its per-iteration allreduce is O(log p)).
+//!
+//! Two reproductions: the paper-scale discrete-event model (128–1024
+//! simulated images, 10⁶ iterations), and the same protocol measured live
+//! on the threaded runtime at laptop scale.
+
+use std::time::Instant;
+
+use bench::{fmt_ns, print_table};
+use caf_runtime::{CommMode, CopyEvents, NetworkModel, Runtime, RuntimeConfig};
+use caf_sim::{run_pc, PcConfig, SyncVariant};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Paper scale (DES, virtual time)
+    // ------------------------------------------------------------------
+    let cores = [128usize, 256, 512, 1024];
+    let mut rows = Vec::new();
+    for &p in &cores {
+        let cfg = PcConfig::new(p);
+        let c = run_pc(&cfg, SyncVariant::Cofence);
+        let e = run_pc(&cfg, SyncVariant::Events);
+        let f = run_pc(&cfg, SyncVariant::Finish);
+        rows.push(vec![
+            p.to_string(),
+            fmt_ns(c.sim_time_ns),
+            fmt_ns(e.sim_time_ns),
+            fmt_ns(f.sim_time_ns),
+            format!("{:.1}", f.waves_per_iter),
+        ]);
+        assert!(c.sim_time_ns < e.sim_time_ns && e.sim_time_ns < f.sim_time_ns);
+    }
+    print_table(
+        "Fig. 12 (simulated, 10^6 iterations, 5×80 B copies/iter)",
+        &["cores", "cofence", "events", "finish", "waves/iter"],
+        &rows,
+    );
+    println!("paper (measured, s): cofence 36/38/39/42, events 40/43/43/52, finish 61/74/83/119");
+
+    // ------------------------------------------------------------------
+    // Threaded runtime (real time, laptop scale)
+    // ------------------------------------------------------------------
+    let iters = 2_000u64;
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 8] {
+        let mut times = Vec::new();
+        for variant in [SyncVariant::Cofence, SyncVariant::Events, SyncVariant::Finish] {
+            times.push(run_threaded(p, iters, variant));
+        }
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.1} ms", times[0] * 1e3),
+            format!("{:.1} ms", times[1] * 1e3),
+            format!("{:.1} ms", times[2] * 1e3),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12 (threaded runtime, {iters} iterations)"),
+        &["images", "cofence", "events", "finish"],
+        &rows,
+    );
+}
+
+/// The Fig. 11 loop on the real runtime: image 0 produces, everyone
+/// participates in the finish variant's blocks.
+fn run_threaded(p: usize, iters: u64, variant: SyncVariant) -> f64 {
+    let cfg = RuntimeConfig {
+        comm_mode: CommMode::DedicatedThread,
+        network: NetworkModel::slow_cluster(),
+        ..RuntimeConfig::default()
+    };
+    let times = Runtime::launch(p, cfg, |img| {
+        let world = img.world();
+        let buf = img.coarray(&world, 10, 0u64); // 80 bytes
+        let src = caf_runtime::LocalArray::new(vec![0u64; 10]);
+        img.barrier(&world);
+        let t0 = Instant::now();
+        for i in 0..iters {
+            match variant {
+                SyncVariant::Cofence => {
+                    if img.id().index() == 0 {
+                        for k in 0..5 {
+                            let dst = img.image(1 + ((i as usize + k) % (p - 1)));
+                            img.copy_async_from(buf.slice(dst, 0..10), &src, 0..10, CopyEvents::none());
+                        }
+                        img.cofence();
+                        src.with(|b| b[0] = i);
+                    }
+                }
+                SyncVariant::Events => {
+                    if img.id().index() == 0 {
+                        let done = img.event();
+                        for k in 0..5 {
+                            let dst = img.image(1 + ((i as usize + k) % (p - 1)));
+                            img.copy_async_from(
+                                buf.slice(dst, 0..10),
+                                &src,
+                                0..10,
+                                CopyEvents::on_dest(done),
+                            );
+                        }
+                        for _ in 0..5 {
+                            img.event_wait(done);
+                        }
+                        src.with(|b| b[0] = i);
+                    }
+                }
+                SyncVariant::Finish => {
+                    img.finish(&world, |img| {
+                        if img.id().index() == 0 {
+                            for k in 0..5 {
+                                let dst = img.image(1 + ((i as usize + k) % (p - 1)));
+                                img.copy_async_from(
+                                    buf.slice(dst, 0..10),
+                                    &src,
+                                    0..10,
+                                    CopyEvents::none(),
+                                );
+                            }
+                        }
+                    });
+                    if img.id().index() == 0 {
+                        src.with(|b| b[0] = i);
+                    }
+                }
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        img.barrier(&world);
+        dt
+    });
+    times[0]
+}

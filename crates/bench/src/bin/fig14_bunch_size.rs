@@ -1,0 +1,46 @@
+//! **Figure 14**: RandomAccess (function shipping) vs. bunch size.
+//!
+//! Paper: with a 2²³-word local table on 128 and 1024 cores of Hopper,
+//! execution time falls steeply from bunch 16 to ~256 (954→277 s at 128
+//! cores) and then *rises again* beyond 256 (292→343 s) — the paper
+//! attributes the rise to GASNet flow control. Claims to reproduce: the
+//! **U-shape** — finish-synchronization overhead dominating small
+//! bunches, flow-control stalls penalizing large ones — with the minimum
+//! in the few-hundreds.
+
+use bench::{fmt_ns, print_table};
+use caf_sim::{run_ra_fs_sim, RaSimConfig};
+
+fn main() {
+    let updates = 8192usize;
+    let bunches = [16usize, 32, 64, 128, 256, 512, 1024, 2048];
+    let mut rows = Vec::new();
+    for &bunch in &bunches {
+        let mut cells = vec![bunch.to_string()];
+        for p in [128usize, 1024] {
+            let cfg = RaSimConfig {
+                updates_per_image: updates,
+                bunch,
+                // Inbox credit budget per image, mirroring GASNet's
+                // credit pools (calibrated so the knee sits near the
+                // paper's bunch ≈ 256).
+                inbox_cap: 160,
+                ..RaSimConfig::new(p)
+            };
+            let r = run_ra_fs_sim(&cfg);
+            cells.push(format!("{} ({} stalls)", fmt_ns(r.sim_time_ns), r.stalls));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!("Fig. 14 (simulated, {updates} updates/image, FS kernel)"),
+        &["bunch", "128 cores", "1024 cores"],
+        &rows,
+    );
+    println!(
+        "paper (128 cores, s): 955, 492, 433, 303, 277, 292, 329, 343 — steep fall then a \
+         flow-control rise past bunch 256.\n\
+         The stall column shows the mechanism: zero stalls at small bunches (pure finish \
+         overhead), growing stalls once a bunch overruns the inbox credit pool."
+    );
+}

@@ -1,0 +1,54 @@
+//! **Figure 17**: UTS parallel efficiency.
+//!
+//! Paper: the CAF 2.0 UTS (T1WL) holds 0.80→0.74 efficiency from 256 to
+//! 32 768 Jaguar cores, relative to single-core performance. Claims to
+//! reproduce: **a gentle, monotone-ish decline over two orders of
+//! magnitude of image count**, with the `finish` overhead *not* blowing
+//! up at scale (that is the construct's scalability claim).
+//!
+//! Substitution: T1WL is O(10¹¹) nodes; we run the same generator at
+//! depth 13 (≈7×10⁷ nodes) and scale per-node work to 20 µs so per-image
+//! work at 32 K images stays meaningful (see EXPERIMENTS.md). Takes a
+//! few minutes; set UTS_DEPTH=11 for a quick pass.
+
+use bench::{fmt_ns, print_table, scaled_tree};
+use caf_sim::{run_uts_sim, UtsSimConfig};
+
+fn main() {
+    // Depth 13 ≈ 70M nodes (~8.6K nodes/image at 8192): enough work
+    // granularity for meaningful balance. Set UTS_DEPTH=11 for a quick
+    // pass.
+    let depth: usize = std::env::var("UTS_DEPTH").ok().and_then(|v| v.parse().ok()).unwrap_or(13);
+    let spec = scaled_tree(depth);
+    let node_cost = 20_000u64;
+    let mut rows = Vec::new();
+    let mut effs = Vec::new();
+    for p in [256usize, 512, 1024, 4096, 8192, 16384, 32768] {
+        let mut cfg = UtsSimConfig::new(spec, p);
+        cfg.node_cost_ns = node_cost;
+        let r = run_uts_sim(cfg);
+        let eff = r.efficiency(p, node_cost);
+        effs.push(eff);
+        rows.push(vec![
+            p.to_string(),
+            fmt_ns(r.sim_time_ns),
+            format!("{eff:.2}"),
+            r.waves.to_string(),
+            r.steals.to_string(),
+            r.lifeline_pushes.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 17 (simulated UTS parallel efficiency, node cost 20 µs)",
+        &["images", "T_p (virtual)", "efficiency", "finish waves", "steals", "lifeline pushes"],
+        &rows,
+    );
+    println!("paper: 0.80, 0.79, 0.79, 0.78, 0.78, 0.77, 0.74 over the same sweep.");
+    let first = effs[0];
+    let last = *effs.last().expect("nonempty");
+    assert!(last <= first, "efficiency should decline with scale: {effs:?}");
+    assert!(
+        last > 0.25,
+        "efficiency at 32K collapsed ({last:.2}) — finish overhead must stay modest"
+    );
+}

@@ -1,0 +1,76 @@
+//! Shared plumbing for the figure-regeneration harnesses: consistent
+//! table printing and the calibrated default parameters each figure
+//! binary uses (documented in EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+/// Prints a markdown-ish table: header row, then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:>w$} |", c, w = widths[i]));
+        }
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats nanoseconds as engineering time.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The scaled UTS workload used by the figure harnesses: GEO-FIXED
+/// b₀ = 4, seed 19, at the requested depth. Depth 12 ≈ 15–20 M nodes
+/// with this generator — the laptop-scale stand-in for T1WL (see
+/// EXPERIMENTS.md §workload-fidelity).
+pub fn scaled_tree(depth: usize) -> uts::TreeSpec {
+    uts::TreeSpec::geo_fixed(4.0, depth, 19)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Epoch bookkeeping for `finish` termination detection (paper §III-A2,
+//! Fig. 7).
+//!
+//! The lifetime of a `finish` block is divided into consecutively numbered
+//! *epochs*; the algorithm only distinguishes even from odd. Each image
+//! keeps one [`EpochCounters`] set per parity and a *present epoch* parity
+//! pointer. Every message carries the sender's parity at send time; the
+//! sending, delivery-acknowledgement, reception, and completion of a
+//! message are all counted under that tag's counters — this is what makes
+//! the allreduce time cut consistent without FIFO channels or global
+//! clocks.
+//!
+//! Transitions:
+//! * `Even → Odd` when the image enters the allreduce, or receives an
+//!   odd-tagged message;
+//! * `Odd → Even` when the image exits the allreduce, at which point the
+//!   odd counters are *folded into* the even counters (counting is
+//!   cumulative over the life of the finish block).
+
+use crate::ids::Parity;
+
+/// The four per-epoch counters of Fig. 7: messages this image has `sent`,
+/// had `delivered` remotely (acknowledged), `received`, and `completed`
+/// executing locally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCounters {
+    /// Messages sent by this image under this parity.
+    pub sent: u64,
+    /// Of those sent, how many are acknowledged as delivered at the target.
+    pub delivered: u64,
+    /// Messages received by this image under this parity.
+    pub received: u64,
+    /// Of those received, how many finished executing locally.
+    pub completed: u64,
+}
+
+impl EpochCounters {
+    /// Adds `other`'s counts into `self` (the odd→even fold).
+    fn absorb(&mut self, other: &EpochCounters) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.received += other.received;
+        self.completed += other.completed;
+    }
+}
+
+/// Per-image epoch state for one `finish` block: the even and odd counter
+/// sets plus the present-epoch parity pointer.
+#[derive(Debug, Clone, Default)]
+pub struct EpochState {
+    even: EpochCounters,
+    odd: EpochCounters,
+    parity: Parity,
+}
+
+impl EpochState {
+    /// Fresh state: present epoch is even (epoch 0), all counters zero.
+    pub fn new() -> Self {
+        EpochState::default()
+    }
+
+    /// Present-epoch parity.
+    #[inline]
+    pub fn parity(&self) -> Parity {
+        self.parity
+    }
+
+    /// Counter set for a parity.
+    #[inline]
+    pub fn counters(&self, parity: Parity) -> &EpochCounters {
+        match parity {
+            Parity::Even => &self.even,
+            Parity::Odd => &self.odd,
+        }
+    }
+
+    #[inline]
+    fn counters_mut(&mut self, parity: Parity) -> &mut EpochCounters {
+        match parity {
+            Parity::Even => &mut self.even,
+            Parity::Odd => &mut self.odd,
+        }
+    }
+
+    /// Records an outgoing message and returns the parity tag it must
+    /// carry (the sender's present epoch).
+    pub fn on_send(&mut self) -> Parity {
+        let p = self.parity;
+        self.counters_mut(p).sent += 1;
+        p
+    }
+
+    /// Records the delivery acknowledgement of a message this image sent.
+    /// Counted in the *present* epoch: if the originating send has already
+    /// been folded into the even side, the ack lands on the even side too,
+    /// re-balancing `sent == delivered`; if the image is still in the odd
+    /// epoch, both sides meet at the next fold.
+    pub fn on_delivered(&mut self) {
+        let p = self.parity;
+        self.counters_mut(p).delivered += 1;
+    }
+
+    /// Records reception of a message tagged `tag`. Receiving an
+    /// odd-tagged message first pushes this image into the odd epoch
+    /// (Fig. 7 line 32), so the message's reception and completion are
+    /// counted on the odd side of the current cut — keeping the cut
+    /// consistent. The count itself lands in the (possibly just flipped)
+    /// present epoch.
+    pub fn on_receive(&mut self, tag: Parity) {
+        if tag == Parity::Odd {
+            self.parity = Parity::Odd;
+        }
+        let p = self.parity;
+        self.counters_mut(p).received += 1;
+    }
+
+    /// Records local completion of a received message, in the present
+    /// epoch.
+    pub fn on_complete(&mut self) {
+        let p = self.parity;
+        self.counters_mut(p).completed += 1;
+    }
+
+    /// The wait condition of Fig. 7 line 4: "a process waits until all
+    /// messages it sent were received and all spawned functions received
+    /// completed execution before the process performs a new sum
+    /// reduction." The condition is over cumulative totals (both
+    /// parities): it is a throttle that bounds the number of waves by
+    /// `L + 1` (Theorem 1, Fig. 18); the consistent cut itself comes from
+    /// the even-side contribution in [`EpochState::enter_wave`].
+    pub fn ready_for_wave(&self) -> bool {
+        self.even.sent + self.odd.sent == self.even.delivered + self.odd.delivered
+            && self.even.received + self.odd.received
+                == self.even.completed + self.odd.completed
+    }
+
+    /// Enters the allreduce: flips into the odd epoch (if not already
+    /// there) and returns this image's contribution to the sum,
+    /// `even.sent − even.completed` (Fig. 7 lines 6–8).
+    pub fn enter_wave(&mut self) -> i64 {
+        self.parity = Parity::Odd;
+        self.even.sent as i64 - self.even.completed as i64
+    }
+
+    /// Exits the allreduce: folds the odd counters into the even counters,
+    /// zeroes the odd set, and returns to the even epoch (Fig. 7
+    /// lines 15–26).
+    pub fn exit_wave(&mut self) {
+        let odd = std::mem::take(&mut self.odd);
+        self.even.absorb(&odd);
+        self.parity = Parity::Even;
+    }
+
+    /// Sum of messages this image has sent minus completed, over both
+    /// parities — used by invariant checks in tests.
+    pub fn local_imbalance(&self) -> i64 {
+        (self.even.sent + self.odd.sent) as i64
+            - (self.even.completed + self.odd.completed) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_ready_and_balanced() {
+        let s = EpochState::new();
+        assert!(s.ready_for_wave());
+        assert_eq!(s.parity(), Parity::Even);
+        assert_eq!(s.local_imbalance(), 0);
+    }
+
+    #[test]
+    fn send_tags_with_present_parity() {
+        let mut s = EpochState::new();
+        assert_eq!(s.on_send(), Parity::Even);
+        assert!(!s.ready_for_wave()); // sent=1, delivered=0
+        s.on_delivered();
+        assert!(s.ready_for_wave());
+        // Entering a wave flips to odd; sends are now odd-tagged.
+        let contrib = s.enter_wave();
+        assert_eq!(contrib, 1); // sent 1, completed 0
+        assert_eq!(s.on_send(), Parity::Odd);
+    }
+
+    #[test]
+    fn odd_message_reception_flips_parity() {
+        let mut s = EpochState::new();
+        assert_eq!(s.parity(), Parity::Even);
+        s.on_receive(Parity::Odd);
+        assert_eq!(s.parity(), Parity::Odd);
+        // An uncompleted reception blocks wave readiness (cumulative wait
+        // condition), whichever side it was counted on.
+        assert!(!s.ready_for_wave());
+        s.on_complete();
+        assert!(s.ready_for_wave());
+        // Odd-side counts are folded into the even side at wave exit.
+        s.enter_wave();
+        s.exit_wave();
+        assert_eq!(s.counters(Parity::Even).received, 1);
+        assert_eq!(s.counters(Parity::Even).completed, 1);
+        assert_eq!(s.counters(Parity::Odd).received, 0);
+        assert!(s.ready_for_wave());
+    }
+
+    #[test]
+    fn even_message_reception_does_not_flip() {
+        let mut s = EpochState::new();
+        s.on_receive(Parity::Even);
+        assert_eq!(s.parity(), Parity::Even);
+        assert!(!s.ready_for_wave());
+        s.on_complete();
+        assert!(s.ready_for_wave());
+    }
+
+    #[test]
+    fn fold_accumulates_cumulatively() {
+        let mut s = EpochState::new();
+        s.on_send(); // even
+        s.on_delivered();
+        s.enter_wave();
+        s.on_send(); // odd
+        s.on_delivered();
+        s.exit_wave();
+        assert_eq!(s.counters(Parity::Even).sent, 2);
+        assert_eq!(s.counters(Parity::Even).delivered, 2);
+        // Contribution of next wave is cumulative sent − completed.
+        assert_eq!(s.enter_wave(), 2);
+    }
+
+    #[test]
+    fn imbalance_tracks_sent_minus_completed() {
+        let mut s = EpochState::new();
+        s.on_send();
+        assert_eq!(s.local_imbalance(), 1);
+        s.on_receive(Parity::Even);
+        s.on_complete();
+        assert_eq!(s.local_imbalance(), 0); // 1 sent − 1 completed
+    }
+}

@@ -1,0 +1,41 @@
+//! # caf-core
+//!
+//! Substrate-independent logic for the Coarray Fortran 2.0
+//! asynchronous-operations reproduction (Yang, Murthy & Mellor-Crummey,
+//! IPDPS 2013):
+//!
+//! * [`ids`] — image/team/finish/event identifiers and epoch [`ids::Parity`];
+//! * [`config`] — the interconnect cost model and runtime configuration;
+//! * [`topology`] — teams, `team_split`, binomial trees, dissemination
+//!   rounds, hypercube lifeline neighbours;
+//! * [`epoch`] — the even/odd epoch counters of the `finish` termination
+//!   detector;
+//! * [`termination`] — the paper's detection algorithm plus the baselines
+//!   it is compared against, and a deterministic harness for exercising
+//!   them;
+//! * [`cofence`] — the directional fence algebra;
+//! * [`model`] — a checkable rendering of the relaxed memory model;
+//! * [`rng`] — a tiny deterministic PRNG shared by harnesses and
+//!   workloads.
+//!
+//! Both execution substrates — the threaded PGAS runtime (`caf-runtime`)
+//! and the discrete-event simulator (`caf-sim`) — drive exactly this code,
+//! which is how the repository can both *run* the constructs for real and
+//! reproduce the paper's 4K–32K-core figures on one machine.
+
+#![warn(missing_docs)]
+
+pub mod cofence;
+pub mod config;
+pub mod epoch;
+pub mod ids;
+pub mod model;
+pub mod rng;
+pub mod termination;
+pub mod topology;
+
+pub use cofence::{CofenceSpec, LocalAccess, Pass};
+pub use config::{CommMode, NetworkModel, RuntimeConfig};
+pub use epoch::{EpochCounters, EpochState};
+pub use ids::{EventId, FinishId, ImageId, Parity, TeamId, TeamRank};
+pub use topology::{BinomialTree, Team};

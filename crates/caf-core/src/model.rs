@@ -1,0 +1,284 @@
+//! A checkable rendering of the CAF 2.0 relaxed memory model (paper §III).
+//!
+//! The paper justifies `finish`, `cofence`, and events inside a relaxed
+//! model whose per-image reordering rules are:
+//!
+//! * asynchronous operations, coarray reads/writes, and event operations
+//!   are unordered unless a synchronization statement orders them;
+//! * `cofence` constrains *implicitly synchronized* asynchronous
+//!   operations directionally (its `DOWNWARD`/`UPWARD` classes);
+//! * `event_notify` is a **release**: operations before it may not defer
+//!   completion past it, but it is porous upward (later operations may
+//!   begin before it);
+//! * `event_wait` is an **acquire**: operations after it may not begin
+//!   before it, but it is porous downward (earlier operations may complete
+//!   after it);
+//! * the end of a `finish` block orders everything (global completion).
+//!
+//! This module encodes one image's program as a statement sequence and
+//! answers, for any asynchronous operation, whether its *local data
+//! completion* may legally be deferred past a given program point
+//! ([`may_complete_after`]) and whether its *initiation* may be hoisted
+//! above one ([`may_initiate_before`]). A whole candidate execution can be
+//! validated with [`validate_execution`]. Property tests use these to
+//! check, e.g., that permissiveness is monotone and that a full `cofence`
+//! is a two-way barrier for implicit operations.
+
+use crate::cofence::{CofenceSpec, LocalAccess};
+use crate::ids::EventId;
+
+/// One statement of an image's (abstracted) program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stmt {
+    /// An asynchronous operation. `implicit` marks implicit completion
+    /// (no event variables supplied), which is what `cofence` governs.
+    Async {
+        /// How the operation touches local memory.
+        access: LocalAccess,
+        /// True when initiated without completion events.
+        implicit: bool,
+    },
+    /// A `cofence` statement.
+    Cofence(CofenceSpec),
+    /// `event_notify` — release semantics.
+    Notify(EventId),
+    /// `event_wait` — acquire semantics.
+    Wait(EventId),
+    /// `end finish` — full completion barrier.
+    FinishEnd,
+}
+
+/// Whether one synchronization statement lets an (earlier) asynchronous
+/// operation's completion move past it downward.
+fn passes_down(stmt: &Stmt, access: LocalAccess, implicit: bool) -> bool {
+    match stmt {
+        // Plain operations impose no order on each other (relaxed model).
+        Stmt::Async { .. } => true,
+        // cofence constrains only implicitly synchronized operations.
+        Stmt::Cofence(spec) => !implicit || !spec.blocks_down(access),
+        // Release: nothing moves down past a notify. "Since, in general,
+        // it's not possible to identify the updates of interest …, the
+        // event_notify should prevent operations from moving downwards."
+        Stmt::Notify(_) => false,
+        // Acquire is porous downward.
+        Stmt::Wait(_) => true,
+        Stmt::FinishEnd => false,
+    }
+}
+
+/// Whether one synchronization statement lets a (later) asynchronous
+/// operation's initiation move past it upward.
+fn passes_up(stmt: &Stmt, access: LocalAccess, implicit: bool) -> bool {
+    match stmt {
+        Stmt::Async { .. } => true,
+        Stmt::Cofence(spec) => !implicit || spec.admits_up(access),
+        // Release is porous upward: "the event_notify can be porous to
+        // operations that appear afterward."
+        Stmt::Notify(_) => true,
+        // Acquire: nothing after a wait may begin before it.
+        Stmt::Wait(_) => false,
+        Stmt::FinishEnd => false,
+    }
+}
+
+/// May the local data completion of the asynchronous operation at
+/// `op_idx` be deferred past the program point *after* statement
+/// `point_idx`? Requires `op_idx <= point_idx`. The operation must cross
+/// every synchronization statement in `(op_idx, point_idx]`.
+///
+/// # Panics
+/// Panics if `op_idx` does not name an `Async` statement or the indices
+/// are out of order/range.
+pub fn may_complete_after(program: &[Stmt], op_idx: usize, point_idx: usize) -> bool {
+    assert!(op_idx <= point_idx && point_idx < program.len());
+    let Stmt::Async { access, implicit } = program[op_idx] else {
+        panic!("statement {op_idx} is not an asynchronous operation");
+    };
+    program[op_idx + 1..=point_idx].iter().all(|s| passes_down(s, access, implicit))
+}
+
+/// May the initiation of the asynchronous operation at `op_idx` be hoisted
+/// above the program point *before* statement `point_idx`? Requires
+/// `point_idx <= op_idx`. The operation must cross every synchronization
+/// statement in `[point_idx, op_idx)` upward.
+///
+/// # Panics
+/// Panics if `op_idx` does not name an `Async` statement or the indices
+/// are out of order/range.
+pub fn may_initiate_before(program: &[Stmt], op_idx: usize, point_idx: usize) -> bool {
+    assert!(point_idx <= op_idx && op_idx < program.len());
+    let Stmt::Async { access, implicit } = program[op_idx] else {
+        panic!("statement {op_idx} is not an asynchronous operation");
+    };
+    program[point_idx..op_idx].iter().all(|s| passes_up(s, access, implicit))
+}
+
+/// A candidate execution of one image's program: for each `Async`
+/// statement, the index of the *latest* program position by which its
+/// local data completion occurred (`completed_by[k]` for the k-th async
+/// statement, a statement index in the program), and the *earliest*
+/// position at which it was initiated (`initiated_at[k]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// Statement index by which each async op (in program order) completed.
+    pub completed_by: Vec<usize>,
+    /// Statement index at which each async op was initiated.
+    pub initiated_at: Vec<usize>,
+}
+
+/// Validates a candidate execution against the model. Returns the list of
+/// violations as human-readable strings (empty = legal).
+pub fn validate_execution(program: &[Stmt], exec: &Execution) -> Vec<String> {
+    let asyncs: Vec<usize> = program
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| matches!(s, Stmt::Async { .. }).then_some(i))
+        .collect();
+    let mut violations = Vec::new();
+    if exec.completed_by.len() != asyncs.len() || exec.initiated_at.len() != asyncs.len() {
+        violations.push(format!(
+            "execution describes {} completions / {} initiations for {} async statements",
+            exec.completed_by.len(),
+            exec.initiated_at.len(),
+            asyncs.len()
+        ));
+        return violations;
+    }
+    for (k, &op_idx) in asyncs.iter().enumerate() {
+        let done = exec.completed_by[k];
+        let init = exec.initiated_at[k];
+        if init > op_idx {
+            violations.push(format!("op {k}: initiation after its program position"));
+            continue;
+        }
+        if done < init {
+            violations.push(format!("op {k}: completes before it initiates"));
+            continue;
+        }
+        if done > op_idx && !may_complete_after(program, op_idx, done) {
+            violations.push(format!(
+                "op {k} (stmt {op_idx}): completion deferred to {done} crosses a constraining fence"
+            ));
+        }
+        if init < op_idx && !may_initiate_before(program, op_idx, init) {
+            violations.push(format!(
+                "op {k} (stmt {op_idx}): initiation hoisted to {init} crosses a constraining fence"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cofence::Pass;
+    use crate::ids::ImageId;
+
+    const EV: EventId = EventId { owner: ImageId(0), slot: 0 };
+
+    fn implicit(access: LocalAccess) -> Stmt {
+        Stmt::Async { access, implicit: true }
+    }
+
+    #[test]
+    fn plain_full_cofence_blocks_implicit_ops_both_ways() {
+        let p = [implicit(LocalAccess::READ), Stmt::Cofence(CofenceSpec::FULL), implicit(LocalAccess::WRITE)];
+        assert!(!may_complete_after(&p, 0, 1));
+        assert!(!may_initiate_before(&p, 2, 1));
+    }
+
+    #[test]
+    fn explicitly_completed_ops_ignore_cofence() {
+        let p = [
+            Stmt::Async { access: LocalAccess::READ, implicit: false },
+            Stmt::Cofence(CofenceSpec::FULL),
+        ];
+        assert!(may_complete_after(&p, 0, 1));
+    }
+
+    /// Paper Fig. 8 as a program: the write-class copy may defer past
+    /// `cofence(DOWNWARD=WRITE)`, the read-class copy may not.
+    #[test]
+    fn fig8_program() {
+        let p = [
+            implicit(LocalAccess::WRITE), // line 5: remote → local inbuf
+            implicit(LocalAccess::READ),  // line 6: local outbuf → remote
+            Stmt::Cofence(CofenceSpec::new(Pass::Writes, Pass::None)), // line 8
+        ];
+        assert!(may_complete_after(&p, 0, 2));
+        assert!(!may_complete_after(&p, 1, 2));
+    }
+
+    #[test]
+    fn notify_is_release_wait_is_acquire() {
+        let p = [
+            implicit(LocalAccess::READ),
+            Stmt::Notify(EV),
+            implicit(LocalAccess::WRITE),
+            Stmt::Wait(EV),
+            implicit(LocalAccess::READ),
+        ];
+        // Nothing completes past the notify…
+        assert!(!may_complete_after(&p, 0, 1));
+        // …but the op after it may start before it (porous upward).
+        assert!(may_initiate_before(&p, 2, 1));
+        // Earlier ops may complete after the wait (porous downward)…
+        assert!(may_complete_after(&p, 2, 3));
+        // …but the op after the wait may not start before it.
+        assert!(!may_initiate_before(&p, 4, 3));
+    }
+
+    #[test]
+    fn finish_end_orders_everything() {
+        let p = [implicit(LocalAccess::WRITE), Stmt::FinishEnd, implicit(LocalAccess::WRITE)];
+        assert!(!may_complete_after(&p, 0, 1));
+        assert!(!may_initiate_before(&p, 2, 1));
+    }
+
+    #[test]
+    fn crossing_two_fences_requires_both_to_admit() {
+        let p = [
+            implicit(LocalAccess::WRITE),
+            Stmt::Cofence(CofenceSpec::new(Pass::Writes, Pass::None)),
+            Stmt::Cofence(CofenceSpec::new(Pass::Reads, Pass::None)),
+        ];
+        assert!(may_complete_after(&p, 0, 1));
+        assert!(!may_complete_after(&p, 0, 2)); // second fence blocks writes
+    }
+
+    #[test]
+    fn validate_accepts_program_order_execution() {
+        let p = [
+            implicit(LocalAccess::READ),
+            Stmt::Cofence(CofenceSpec::FULL),
+            implicit(LocalAccess::WRITE),
+        ];
+        let exec = Execution { completed_by: vec![0, 2], initiated_at: vec![0, 2] };
+        assert!(validate_execution(&p, &exec).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_illegal_deferral() {
+        let p = [
+            implicit(LocalAccess::READ),
+            Stmt::Cofence(CofenceSpec::FULL),
+            implicit(LocalAccess::WRITE),
+        ];
+        let exec = Execution { completed_by: vec![2, 2], initiated_at: vec![0, 2] };
+        let v = validate_execution(&p, &exec);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("completion deferred"));
+    }
+
+    #[test]
+    fn validate_rejects_time_travel() {
+        let p = [implicit(LocalAccess::READ)];
+        let exec = Execution { completed_by: vec![0], initiated_at: vec![0] };
+        assert!(validate_execution(&p, &exec).is_empty());
+        // completes before it initiates:
+        let p2 = [Stmt::Wait(EV), implicit(LocalAccess::READ)];
+        let bad = Execution { completed_by: vec![0], initiated_at: vec![1] };
+        assert!(!validate_execution(&p2, &bad).is_empty());
+    }
+}

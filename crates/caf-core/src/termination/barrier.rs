@@ -1,0 +1,103 @@
+//! The *incorrect* barrier-based termination strawman of paper Fig. 5.
+//!
+//! "One might think that … termination detection can be achieved simply by
+//! having each process image wait for completion of all asynchronous
+//! operations that it initiated …, and then perform a barrier." The flaw:
+//! a transitively shipped function `f2` can land on image `r` *after* `r`
+//! has observed every barrier arrival, so `r` exits the barrier while `f2`
+//! is still in flight. This module implements the strawman faithfully so
+//! the harness can exhibit the failure deterministically (see
+//! `harness::tests::barrier_detector_misses_transitive_spawn` and the
+//! `fig05_barrier_failure` bench binary).
+
+use crate::ids::Parity;
+
+/// Per-image state of the barrier-based detector.
+///
+/// An image is "locally done" once every operation *it initiated* has been
+/// acknowledged as delivered (it has no visibility into transitive spawns
+/// performed on its behalf elsewhere — exactly the blind spot).
+#[derive(Debug, Clone, Default)]
+pub struct BarrierDetector {
+    sent: u64,
+    delivered: u64,
+    /// Received messages currently executing locally.
+    executing: u64,
+}
+
+impl BarrierDetector {
+    /// Fresh state.
+    pub fn new() -> Self {
+        BarrierDetector::default()
+    }
+
+    /// Records an outgoing message.
+    pub fn on_send(&mut self) -> Parity {
+        self.sent += 1;
+        Parity::Even
+    }
+
+    /// Records a delivery acknowledgement for an outgoing message.
+    pub fn on_delivered(&mut self, _tag: Parity) {
+        self.delivered += 1;
+    }
+
+    /// Records arrival of a shipped function (it begins executing).
+    pub fn on_receive(&mut self, _tag: Parity) {
+        self.executing += 1;
+    }
+
+    /// Records local completion of a received function.
+    pub fn on_complete(&mut self, _tag: Parity) {
+        assert!(self.executing > 0);
+        self.executing -= 1;
+    }
+
+    /// The (unsound) local-done predicate: everything *I* initiated has
+    /// landed and nothing is executing here right now. The image then
+    /// enters the barrier; once all images have entered, the detector
+    /// declares termination — possibly wrongly.
+    pub fn locally_done(&self) -> bool {
+        self.sent == self.delivered && self.executing == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_when_idle() {
+        assert!(BarrierDetector::new().locally_done());
+    }
+
+    #[test]
+    fn own_sends_block_until_delivered() {
+        let mut d = BarrierDetector::new();
+        let tag = d.on_send();
+        assert!(!d.locally_done());
+        d.on_delivered(tag);
+        assert!(d.locally_done());
+    }
+
+    #[test]
+    fn executing_function_blocks() {
+        let mut d = BarrierDetector::new();
+        d.on_receive(Parity::Even);
+        assert!(!d.locally_done());
+        d.on_complete(Parity::Even);
+        assert!(d.locally_done());
+    }
+
+    /// The blind spot in miniature: after my own spawn is delivered I am
+    /// "done", even though the delivered function may spawn further work
+    /// that has not yet landed anywhere.
+    #[test]
+    fn transitive_spawn_is_invisible() {
+        let mut p = BarrierDetector::new();
+        let tag = p.on_send(); // p ships f1 to q
+        p.on_delivered(tag);
+        assert!(p.locally_done()); // p would enter the barrier here,
+                                   // regardless of what f1 does at q.
+    }
+}

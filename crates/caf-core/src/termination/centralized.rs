@@ -1,0 +1,205 @@
+//! X10-style centralized vector-counting termination detection (paper §V).
+//!
+//! Each worker maintains a vector with one lane per place: how many
+//! activities it spawned *to* that place, minus how many activities it
+//! completed locally (recorded in its own lane). When a worker quiesces it
+//! sends its accumulated vector delta to the place that owns the finish;
+//! the home sums the vectors and declares termination when the sum is the
+//! zero vector.
+//!
+//! The scaling defect the paper calls out is structural: the home receives
+//! `p` vectors of size `p`. We expose message and byte counters so the
+//! ablation bench can show the `O(p²)` hot spot against the epoch
+//! algorithm's `O(p log p)` total / `O(log p)` critical path.
+
+use crate::ids::ImageId;
+
+/// A vector report sent from a worker to the finish home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorReport {
+    /// Reporting worker.
+    pub from: ImageId,
+    /// Per-place deltas since the worker's previous report:
+    /// `delta[j] = spawned_to_j − (j == self ? completed_locally : 0)`.
+    pub delta: Vec<i64>,
+}
+
+/// Worker-side state.
+#[derive(Debug, Clone)]
+pub struct CentralizedDetector {
+    me: ImageId,
+    places: usize,
+    /// Un-reported per-place deltas.
+    pending: Vec<i64>,
+    /// Activities currently executing locally (must be zero to quiesce).
+    active: usize,
+    reports_sent: usize,
+}
+
+impl CentralizedDetector {
+    /// Worker state for `me` among `places` images.
+    pub fn new(me: ImageId, places: usize) -> Self {
+        assert!(me.0 < places);
+        CentralizedDetector {
+            me,
+            places,
+            pending: vec![0; places],
+            active: 0,
+            reports_sent: 0,
+        }
+    }
+
+    /// Records spawning one activity to `target`.
+    pub fn on_spawn(&mut self, target: ImageId) {
+        assert!(target.0 < self.places);
+        self.pending[target.0] += 1;
+    }
+
+    /// Records the start of a locally executing activity.
+    pub fn on_activity_start(&mut self) {
+        self.active += 1;
+    }
+
+    /// Records completion of a locally executing activity.
+    pub fn on_activity_complete(&mut self) {
+        assert!(self.active > 0, "completion without a running activity");
+        self.active -= 1;
+        self.pending[self.me.0] -= 1;
+    }
+
+    /// Whether the worker is quiescent (no running activities).
+    pub fn quiescent(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Takes the pending delta vector to ship to the home, if the worker
+    /// is quiescent and has anything new to report (or has never
+    /// reported). Returns `None` when there is nothing to send.
+    pub fn take_report(&mut self) -> Option<VectorReport> {
+        if !self.quiescent() {
+            return None;
+        }
+        if self.reports_sent > 0 && self.pending.iter().all(|&d| d == 0) {
+            return None;
+        }
+        let delta = std::mem::replace(&mut self.pending, vec![0; self.places]);
+        self.reports_sent += 1;
+        Some(VectorReport { from: self.me, delta })
+    }
+
+    /// Number of vector reports this worker has sent.
+    pub fn reports_sent(&self) -> usize {
+        self.reports_sent
+    }
+}
+
+/// Home-side state at the place owning the finish.
+#[derive(Debug, Clone)]
+pub struct CentralizedHome {
+    places: usize,
+    sum: Vec<i64>,
+    heard_from: Vec<bool>,
+    reports_received: usize,
+    bytes_received: usize,
+}
+
+impl CentralizedHome {
+    /// Home state for a finish over `places` images.
+    pub fn new(places: usize) -> Self {
+        CentralizedHome {
+            places,
+            sum: vec![0; places],
+            heard_from: vec![false; places],
+            reports_received: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Ingests one report; returns `true` if global termination is now
+    /// detected (every place has reported at least once and the summed
+    /// vector is zero).
+    pub fn ingest(&mut self, report: &VectorReport) -> bool {
+        assert_eq!(report.delta.len(), self.places);
+        for (s, d) in self.sum.iter_mut().zip(&report.delta) {
+            *s += d;
+        }
+        self.heard_from[report.from.0] = true;
+        self.reports_received += 1;
+        self.bytes_received += report.delta.len() * std::mem::size_of::<i64>();
+        self.terminated()
+    }
+
+    /// Current detection state.
+    pub fn terminated(&self) -> bool {
+        self.heard_from.iter().all(|&h| h) && self.sum.iter().all(|&s| s == 0)
+    }
+
+    /// Total vector reports the home has absorbed (the hot-spot metric).
+    pub fn reports_received(&self) -> usize {
+        self.reports_received
+    }
+
+    /// Total bytes of vector payload the home has absorbed: `O(p²)` for
+    /// one finish in the worst case.
+    pub fn bytes_received(&self) -> usize {
+        self.bytes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_work_terminates_after_everyone_reports_once() {
+        let n = 4;
+        let mut home = CentralizedHome::new(n);
+        for i in 0..n {
+            let mut w = CentralizedDetector::new(ImageId(i), n);
+            let r = w.take_report().expect("first report always sent");
+            let done = home.ingest(&r);
+            assert_eq!(done, i == n - 1, "terminate only on the last report");
+        }
+    }
+
+    #[test]
+    fn outstanding_spawn_blocks_termination_until_completed() {
+        let n = 2;
+        let mut home = CentralizedHome::new(n);
+        let mut w0 = CentralizedDetector::new(ImageId(0), n);
+        let mut w1 = CentralizedDetector::new(ImageId(1), n);
+
+        w0.on_spawn(ImageId(1));
+        assert!(!home.ingest(&w0.take_report().unwrap()));
+        assert!(!home.ingest(&w1.take_report().unwrap()));
+        assert!(!home.terminated()); // lane 1 is +1
+
+        // The activity lands and completes at image 1.
+        w1.on_activity_start();
+        assert!(w1.take_report().is_none(), "busy worker must not report");
+        w1.on_activity_complete();
+        assert!(home.ingest(&w1.take_report().unwrap()));
+    }
+
+    #[test]
+    fn bytes_scale_with_places() {
+        let n = 8;
+        let mut home = CentralizedHome::new(n);
+        for i in 0..n {
+            let mut w = CentralizedDetector::new(ImageId(i), n);
+            home.ingest(&w.take_report().unwrap());
+        }
+        assert_eq!(home.reports_received(), n);
+        assert_eq!(home.bytes_received(), n * n * 8);
+    }
+
+    #[test]
+    fn quiet_worker_reports_only_once() {
+        let mut w = CentralizedDetector::new(ImageId(0), 3);
+        assert!(w.take_report().is_some());
+        assert!(w.take_report().is_none());
+        w.on_spawn(ImageId(2));
+        assert!(w.take_report().is_some());
+        assert!(w.take_report().is_none());
+    }
+}

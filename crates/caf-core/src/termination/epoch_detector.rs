@@ -1,0 +1,132 @@
+//! The paper's epoch-based termination-detection algorithm (Fig. 7),
+//! packaged behind the [`WaveDetector`] interface.
+
+use super::{Contribution, WaveDecision, WaveDetector};
+use crate::epoch::EpochState;
+use crate::ids::Parity;
+
+/// Per-image state of the paper's algorithm.
+///
+/// With `wait_for_quiescence = true` this is exactly Fig. 7: an image
+/// refuses to start a new reduction wave until every message it sent has
+/// been delivered and every message it received has completed, which is
+/// what bounds the number of waves by `L + 1` (Theorem 1) and halves the
+/// allreduce count in Fig. 18. With `false` it is the "algorithm w/o upper
+/// bound" baseline from Fig. 18: still *correct* (the consistent epoch cut
+/// never lets the sum reach zero while messages are outstanding) but it
+/// keeps reducing speculatively.
+#[derive(Debug, Clone)]
+pub struct EpochDetector {
+    state: EpochState,
+    wait_for_quiescence: bool,
+    waves: usize,
+}
+
+impl EpochDetector {
+    /// Creates a detector. `wait_for_quiescence` selects between the
+    /// paper's algorithm (`true`) and the no-upper-bound variant (`false`).
+    pub fn new(wait_for_quiescence: bool) -> Self {
+        EpochDetector {
+            state: EpochState::new(),
+            wait_for_quiescence,
+            waves: 0,
+        }
+    }
+
+    /// Read access to the underlying epoch state (for tests/metrics).
+    pub fn epochs(&self) -> &EpochState {
+        &self.state
+    }
+}
+
+impl WaveDetector for EpochDetector {
+    fn on_send(&mut self) -> Parity {
+        self.state.on_send()
+    }
+
+    fn on_delivered(&mut self, _tag: Parity) {
+        self.state.on_delivered();
+    }
+
+    fn on_receive(&mut self, tag: Parity) {
+        self.state.on_receive(tag);
+    }
+
+    fn on_complete(&mut self, _tag: Parity) {
+        self.state.on_complete();
+    }
+
+    fn ready(&self) -> bool {
+        !self.wait_for_quiescence || self.state.ready_for_wave()
+    }
+
+    fn enter_wave(&mut self) -> Contribution {
+        [self.state.enter_wave(), 0]
+    }
+
+    fn exit_wave(&mut self, reduced: Contribution) -> WaveDecision {
+        self.state.exit_wave();
+        self.waves += 1;
+        if reduced[0] == 0 {
+            WaveDecision::Terminated
+        } else {
+            WaveDecision::Continue
+        }
+    }
+
+    fn waves(&self) -> usize {
+        self.waves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_image_is_immediately_ready() {
+        let d = EpochDetector::new(true);
+        assert!(d.ready());
+    }
+
+    #[test]
+    fn unacked_send_blocks_readiness_only_with_upper_bound() {
+        let mut strict = EpochDetector::new(true);
+        strict.on_send();
+        assert!(!strict.ready());
+        let mut loose = EpochDetector::new(false);
+        loose.on_send();
+        assert!(loose.ready());
+    }
+
+    #[test]
+    fn zero_sum_terminates_nonzero_continues() {
+        let mut d = EpochDetector::new(true);
+        d.enter_wave();
+        assert_eq!(d.exit_wave([3, 0]), WaveDecision::Continue);
+        d.enter_wave();
+        assert_eq!(d.exit_wave([0, 0]), WaveDecision::Terminated);
+        assert_eq!(d.waves(), 2);
+    }
+
+    #[test]
+    fn contribution_is_sent_minus_completed() {
+        // Globally, Σ(sent − completed) = 0 iff every message completed
+        // somewhere; locally the lane may be any integer.
+        let mut d = EpochDetector::new(false);
+        d.on_send();
+        d.on_send();
+        d.on_receive(Parity::Even);
+        d.on_complete(Parity::Even);
+        assert_eq!(d.enter_wave(), [1, 0]); // 2 sent − 1 completed
+    }
+
+    #[test]
+    fn receptions_must_complete_before_readiness() {
+        let mut d = EpochDetector::new(true);
+        d.on_receive(Parity::Even);
+        assert!(!d.ready());
+        d.on_complete(Parity::Even);
+        assert!(d.ready());
+    }
+}

@@ -1,0 +1,485 @@
+//! An abstract message-passing machine for exercising termination
+//! detectors deterministically.
+//!
+//! The harness models a team of images exchanging *spawn* messages under a
+//! `finish` block: each message, when delivered, executes for a while and
+//! may transitively spawn further messages (a [`SpawnTree`]). Delivery,
+//! acknowledgement, and execution have configurable integer delays plus
+//! optional seeded jitter, and message channels are deliberately not FIFO
+//! (events at equal times are ordered by sequence number, but jitter can
+//! reorder messages between the same pair of images) — the paper's
+//! algorithm must tolerate exactly that.
+//!
+//! The harness drives any [`WaveDetector`] through the full protocol —
+//! lifecycle callbacks plus synchronous reduction waves — and *checks
+//! soundness*: it panics if a detector declares termination while any
+//! message is still in flight or executing. Property tests in this crate
+//! and the Fig. 18 bench both build on it.
+
+use std::collections::BinaryHeap;
+
+use super::{BarrierDetector, WaveDecision, WaveDetector};
+use crate::ids::Parity;
+use crate::rng::SplitMix64;
+
+/// A spawn with its transitive children: delivering this message to
+/// `target` executes a function there which spawns each child in turn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnTree {
+    /// Image (by index) on which the shipped function executes.
+    pub target: usize,
+    /// Functions the shipped function itself ships while executing.
+    pub children: Vec<SpawnTree>,
+}
+
+/// Convenience constructor for [`SpawnTree`] literals.
+pub fn node(target: usize, children: Vec<SpawnTree>) -> SpawnTree {
+    SpawnTree { target, children }
+}
+
+/// A linear spawn chain visiting `targets` in order (length = `targets.len()`).
+pub fn chain(targets: &[usize]) -> SpawnTree {
+    assert!(!targets.is_empty());
+    let mut tree = node(*targets.last().unwrap(), Vec::new());
+    for &t in targets[..targets.len() - 1].iter().rev() {
+        tree = node(t, vec![tree]);
+    }
+    tree
+}
+
+impl SpawnTree {
+    /// Chain length of this tree as defined in §III-A3: a leaf spawn has
+    /// length 1; otherwise 1 + the maximum child length.
+    pub fn chain_len(&self) -> usize {
+        1 + self.children.iter().map(SpawnTree::chain_len).max().unwrap_or(0)
+    }
+
+    /// Total number of spawned functions in the tree.
+    pub fn total_spawns(&self) -> usize {
+        1 + self.children.iter().map(SpawnTree::total_spawns).sum::<usize>()
+    }
+}
+
+/// Workload for one `finish` block: per-image root spawns plus the delay
+/// model.
+#[derive(Debug, Clone)]
+pub struct SpawnPlan {
+    /// `(initiator image, spawn tree)` pairs initiated at time 0.
+    pub roots: Vec<(usize, SpawnTree)>,
+    /// Base delay from send to delivery.
+    pub net_delay: u64,
+    /// Delay from delivery to the sender's acknowledgement.
+    pub ack_delay: u64,
+    /// Execution time of one shipped function.
+    pub exec_delay: u64,
+    /// Upper bound (exclusive) on per-message extra delay; 0 disables.
+    pub jitter_max: u64,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+    /// Duration of one synchronous allreduce wave. Messages already in
+    /// flight keep progressing during a wave (images poll inside the
+    /// collective), which is what lets the no-upper-bound detector variant
+    /// make progress at all — at the price of extra waves (Fig. 18).
+    pub wave_delay: u64,
+}
+
+impl Default for SpawnPlan {
+    fn default() -> Self {
+        SpawnPlan {
+            roots: Vec::new(),
+            net_delay: 1,
+            ack_delay: 1,
+            exec_delay: 1,
+            jitter_max: 0,
+            jitter_seed: 0,
+            wave_delay: 2,
+        }
+    }
+}
+
+impl SpawnPlan {
+    /// Adds a root spawn initiated by `initiator`.
+    pub fn spawn(&mut self, initiator: usize, tree: SpawnTree) -> &mut Self {
+        self.roots.push((initiator, tree));
+        self
+    }
+
+    /// Longest spawn chain `L` across all roots (0 if no spawns).
+    pub fn longest_chain(&self) -> usize {
+        self.roots.iter().map(|(_, t)| t.chain_len()).max().unwrap_or(0)
+    }
+
+    /// Total functions shipped by the plan.
+    pub fn total_spawns(&self) -> usize {
+        self.roots.iter().map(|(_, t)| t.total_spawns()).sum()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A spawn message arrives at `to`: receive, start executing.
+    Deliver { to: usize, from: usize, tag: Parity, children: Vec<SpawnTree> },
+    /// Delivery acknowledgement reaches the original sender.
+    Ack { to: usize, tag: Parity },
+    /// A function finishes executing at `at`: ship children, complete.
+    ExecDone { at: usize, tag: Parity, children: Vec<SpawnTree> },
+}
+
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Result of a [`Harness::run_barrier`] experiment with the unsound
+/// barrier-based detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierRun {
+    /// Abstract time at which the barrier completed (termination declared).
+    pub declared_at: u64,
+    /// Spawned functions still in flight or executing at that moment.
+    /// Nonzero means the detector was wrong (paper Fig. 5).
+    pub outstanding_at_declaration: usize,
+}
+
+/// The abstract machine. Construct with one detector per image, then
+/// [`run`](Harness::run) a plan.
+pub struct Harness {
+    detectors: Vec<Box<dyn WaveDetector>>,
+    queue: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: u64,
+    /// Spawns sent but not yet completed (ground truth, detector-independent).
+    outstanding: usize,
+    rng: SplitMix64,
+    jitter_max: u64,
+    /// Maximum waves before the harness declares the detector live-locked.
+    pub max_waves: usize,
+}
+
+impl Harness {
+    /// A harness over `n` images with detectors built by `mk`.
+    pub fn new(n: usize, mk: impl Fn() -> Box<dyn WaveDetector>) -> Self {
+        assert!(n > 0);
+        Harness {
+            detectors: (0..n).map(|_| mk()).collect(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            outstanding: 0,
+            rng: SplitMix64::new(0),
+            jitter_max: 0,
+            max_waves: 10_000,
+        }
+    }
+
+    fn schedule(&mut self, delay: u64, ev: Ev) {
+        let jitter = if self.jitter_max > 0 { self.rng.next_below(self.jitter_max) } else { 0 };
+        self.seq += 1;
+        self.queue.push(Scheduled { time: self.now + delay + jitter, seq: self.seq, ev });
+    }
+
+    fn send_spawn(&mut self, from: usize, tree: SpawnTree, net_delay: u64) {
+        let tag = self.detectors[from].on_send();
+        self.outstanding += 1;
+        self.schedule(net_delay, Ev::Deliver { to: tree.target, from, tag, children: tree.children });
+    }
+
+    fn process(&mut self, ev: Ev, plan: &SpawnPlan) {
+        match ev {
+            Ev::Deliver { to, from, tag, children } => {
+                self.detectors[to].on_receive(tag);
+                self.schedule(plan.ack_delay, Ev::Ack { to: from, tag });
+                self.schedule(plan.exec_delay, Ev::ExecDone { at: to, tag, children });
+            }
+            Ev::Ack { to, tag } => self.detectors[to].on_delivered(tag),
+            Ev::ExecDone { at, tag, children } => {
+                // The function's own spawns happen during its execution,
+                // strictly before its completion is recorded.
+                for child in children {
+                    self.send_spawn(at, child, plan.net_delay);
+                }
+                self.detectors[at].on_complete(tag);
+                self.outstanding -= 1;
+            }
+        }
+    }
+
+    /// Runs `plan` to detected termination and returns the number of
+    /// reduction waves used.
+    ///
+    /// # Panics
+    /// Panics if the detector declares termination while work is
+    /// outstanding (unsound), fails to declare termination once the system
+    /// is quiet (not live), or exceeds `max_waves`.
+    pub fn run(&mut self, plan: SpawnPlan) -> usize {
+        let n = self.detectors.len();
+        self.rng = SplitMix64::new(plan.jitter_seed);
+        self.jitter_max = plan.jitter_max;
+        for (initiator, tree) in plan.roots.clone() {
+            assert!(initiator < n && tree.target < n, "plan references unknown image");
+            self.send_spawn(initiator, tree, plan.net_delay);
+        }
+
+        let mut waves = 0usize;
+        loop {
+            // Phase 1: advance events until every image is ready to enter
+            // the wave. (If the queue drains, every image is necessarily
+            // ready: pending acks/execs are the only source of unreadiness
+            // for sound detectors, and the strict variant waits for them.)
+            let mut entered: Vec<Option<[i64; 2]>> = vec![None; n];
+            loop {
+                for (i, d) in self.detectors.iter_mut().enumerate() {
+                    if entered[i].is_none() && d.ready() {
+                        entered[i] = Some(d.enter_wave());
+                    }
+                }
+                if entered.iter().all(Option::is_some) {
+                    break;
+                }
+                let Some(next) = self.queue.pop() else {
+                    panic!(
+                        "deadlock: queue empty but some image never became \
+                         ready (detector not live)"
+                    );
+                };
+                self.now = next.time;
+                self.process(next.ev, &plan);
+            }
+
+            // Phase 2: the synchronous allreduce takes wave_delay time,
+            // during which images poll: messages landing inside the wave
+            // window are received/executed concurrently with the
+            // collective (they were sent from odd epochs, so the epoch
+            // algorithm attributes them to the next cut).
+            let wave_end = self.now + plan.wave_delay.max(1);
+            while self.queue.peek().is_some_and(|s| s.time <= wave_end) {
+                let next = self.queue.pop().expect("peeked");
+                self.now = next.time;
+                self.process(next.ev, &plan);
+            }
+            self.now = wave_end;
+            let sum = entered.iter().flatten().fold([0i64; 2], |a, c| [a[0] + c[0], a[1] + c[1]]);
+            waves += 1;
+            let mut decisions = self.detectors.iter_mut().map(|d| d.exit_wave(sum));
+            let first = decisions.next().expect("n > 0");
+            assert!(
+                decisions.all(|d| d == first),
+                "detectors disagreed on the wave decision"
+            );
+            match first {
+                WaveDecision::Terminated => {
+                    assert_eq!(
+                        self.outstanding, 0,
+                        "UNSOUND: termination declared with {} messages outstanding",
+                        self.outstanding
+                    );
+                    return waves;
+                }
+                WaveDecision::Continue => {
+                    assert!(waves < self.max_waves, "detector live-locked after {waves} waves");
+                }
+            }
+        }
+    }
+
+    /// Runs `plan` with the unsound [`BarrierDetector`] strategy: each
+    /// image enters a barrier once locally done, the barrier completes when
+    /// all have entered, and entry is never retracted. Returns when the
+    /// barrier completed and how much work was still outstanding — the
+    /// Fig. 5 failure is `outstanding_at_declaration > 0`.
+    pub fn run_barrier(n: usize, plan: SpawnPlan) -> BarrierRun {
+        let mut dets: Vec<BarrierDetector> = (0..n).map(|_| BarrierDetector::new()).collect();
+        let mut entered = vec![false; n];
+        let mut queue: BinaryHeap<Scheduled> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut outstanding = 0usize;
+        let mut rng = SplitMix64::new(plan.jitter_seed);
+
+        let schedule = |queue: &mut BinaryHeap<Scheduled>,
+                            seq: &mut u64,
+                            now: u64,
+                            rng: &mut SplitMix64,
+                            delay: u64,
+                            ev: Ev| {
+            let jitter = if plan.jitter_max > 0 { rng.next_below(plan.jitter_max) } else { 0 };
+            *seq += 1;
+            queue.push(Scheduled { time: now + delay + jitter, seq: *seq, ev });
+        };
+
+        for (initiator, tree) in plan.roots.clone() {
+            let tag = dets[initiator].on_send();
+            outstanding += 1;
+            schedule(&mut queue, &mut seq, now, &mut rng, plan.net_delay, Ev::Deliver {
+                to: tree.target,
+                from: initiator,
+                tag,
+                children: tree.children,
+            });
+        }
+
+        loop {
+            // Latch barrier entries (never retracted — the flaw).
+            for i in 0..n {
+                if !entered[i] && dets[i].locally_done() {
+                    entered[i] = true;
+                }
+            }
+            if entered.iter().all(|&e| e) {
+                return BarrierRun { declared_at: now, outstanding_at_declaration: outstanding };
+            }
+            let next = queue.pop().expect("barrier never completed");
+            now = next.time;
+            match next.ev {
+                Ev::Deliver { to, from, tag, children } => {
+                    dets[to].on_receive(tag);
+                    schedule(&mut queue, &mut seq, now, &mut rng, plan.ack_delay, Ev::Ack {
+                        to: from,
+                        tag,
+                    });
+                    schedule(&mut queue, &mut seq, now, &mut rng, plan.exec_delay, Ev::ExecDone {
+                        at: to,
+                        tag,
+                        children,
+                    });
+                }
+                Ev::Ack { to, tag } => dets[to].on_delivered(tag),
+                Ev::ExecDone { at, tag, children } => {
+                    for child in children {
+                        let ctag = dets[at].on_send();
+                        outstanding += 1;
+                        schedule(&mut queue, &mut seq, now, &mut rng, plan.net_delay, Ev::Deliver {
+                            to: child.target,
+                            from: at,
+                            tag: ctag,
+                            children: child.children,
+                        });
+                    }
+                    dets[at].on_complete(tag);
+                    outstanding -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termination::{EpochDetector, FourCounterDetector};
+
+    #[test]
+    fn chain_helper_builds_linear_trees() {
+        let t = chain(&[1, 2, 3]);
+        assert_eq!(t.chain_len(), 3);
+        assert_eq!(t.total_spawns(), 3);
+        assert_eq!(t.target, 1);
+        assert_eq!(t.children[0].target, 2);
+        assert_eq!(t.children[0].children[0].target, 3);
+    }
+
+    #[test]
+    fn epoch_detector_handles_fan_out() {
+        let mut plan = SpawnPlan::default();
+        // Image 0 ships to everyone; each target ships two more.
+        for t in 1..6 {
+            plan.spawn(0, node(t, vec![node((t + 1) % 6, vec![]), node((t + 2) % 6, vec![])]));
+        }
+        let mut h = Harness::new(6, || Box::new(EpochDetector::new(true)));
+        let waves = h.run(plan.clone());
+        assert!(waves <= plan.longest_chain() + 1);
+    }
+
+    #[test]
+    fn epoch_detector_sound_under_jitter() {
+        for seed in 0..20 {
+            let mut plan = SpawnPlan {
+                jitter_max: 17,
+                jitter_seed: seed,
+                net_delay: 2,
+                exec_delay: 3,
+                ..SpawnPlan::default()
+            };
+            plan.spawn(0, chain(&[1, 2, 3, 0, 1]));
+            plan.spawn(2, node(3, vec![node(0, vec![]), node(1, vec![])]));
+            let mut h = Harness::new(4, || Box::new(EpochDetector::new(true)));
+            // run() asserts soundness internally.
+            let waves = h.run(plan);
+            assert!(waves >= 2);
+        }
+    }
+
+    #[test]
+    fn no_wait_variant_sound_under_jitter() {
+        for seed in 0..20 {
+            let mut plan = SpawnPlan {
+                jitter_max: 11,
+                jitter_seed: seed,
+                ..SpawnPlan::default()
+            };
+            plan.spawn(1, chain(&[2, 0, 2]));
+            let mut h = Harness::new(3, || Box::new(EpochDetector::new(false)));
+            h.run(plan);
+        }
+    }
+
+    #[test]
+    fn four_counter_sound_under_jitter() {
+        for seed in 0..20 {
+            let mut plan = SpawnPlan {
+                jitter_max: 13,
+                jitter_seed: seed,
+                ..SpawnPlan::default()
+            };
+            plan.spawn(0, node(1, vec![node(2, vec![node(3, vec![])])]));
+            let mut h = Harness::new(4, || Box::new(FourCounterDetector::new()));
+            h.run(plan);
+        }
+    }
+
+    /// Paper Fig. 5, deterministically: p(=0) ships f1 to q(=1); f1 ships
+    /// f2 to r(=2) over a slow link. The barrier-based detector completes
+    /// while f2 is still outstanding; the epoch detector does not.
+    #[test]
+    fn barrier_detector_misses_transitive_spawn() {
+        let mut plan = SpawnPlan {
+            net_delay: 1,
+            ack_delay: 1,
+            exec_delay: 5,
+            ..SpawnPlan::default()
+        };
+        plan.spawn(0, node(1, vec![node(2, vec![])]));
+
+        let run = Harness::run_barrier(3, plan.clone());
+        assert!(
+            run.outstanding_at_declaration > 0,
+            "expected the Fig. 5 failure; barrier declared at t={} with {} outstanding",
+            run.declared_at,
+            run.outstanding_at_declaration
+        );
+
+        // finish (epoch detector) is sound on the same schedule — run()
+        // would panic otherwise.
+        let mut h = Harness::new(3, || Box::new(EpochDetector::new(true)));
+        h.run(plan);
+    }
+}

@@ -1,0 +1,149 @@
+//! Distributed termination detection for `finish` (paper §III-A) plus the
+//! baseline algorithms the paper compares against (§V).
+//!
+//! * [`EpochDetector`] — the paper's algorithm (Fig. 7): cumulative
+//!   even/odd epoch counters, a local quiescence precondition, and
+//!   repeated synchronous team allreduces of `sent − completed`. Its
+//!   `wait_for_quiescence` switch turns the precondition off, yielding the
+//!   "algorithm w/o upper bound" that Fig. 18 shows needs ~2× the rounds.
+//! * [`FourCounterDetector`] — Mattern's four-counter wave algorithm as
+//!   used by AM++: reduces `(Σsent, Σreceived)` and terminates when two
+//!   consecutive waves agree and balance; always pays one extra wave.
+//! * [`CentralizedDetector`] — X10-style vector counting: every image
+//!   sends a per-place spawn/completion vector to the finish home on
+//!   quiesce; the home detects a zero sum. Scales as `O(p²)` state at one
+//!   place — the bottleneck §V describes.
+//! * [`BarrierDetector`] — the *incorrect* strawman of Fig. 5: wait for
+//!   locally initiated work, then barrier. The harness demonstrates it
+//!   declaring termination while a transitively shipped function is still
+//!   in flight.
+//!
+//! All detectors are pure state machines; the threaded runtime and the
+//! discrete-event simulator drive the same code.
+
+mod barrier;
+mod centralized;
+mod epoch_detector;
+mod four_counter;
+pub mod harness;
+
+pub use barrier::BarrierDetector;
+pub use centralized::{CentralizedDetector, CentralizedHome, VectorReport};
+pub use epoch_detector::EpochDetector;
+pub use four_counter::FourCounterDetector;
+
+use crate::ids::Parity;
+
+/// Outcome of one reduction wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveDecision {
+    /// Global termination detected: every message sent under the finish
+    /// has been delivered and completed.
+    Terminated,
+    /// Work may remain; run another wave.
+    Continue,
+}
+
+/// Contribution of one image to one reduction wave. Wave-based detectors
+/// reduce element-wise sums of these vectors; unused lanes stay zero.
+pub type Contribution = [i64; 2];
+
+/// A wave-based termination detector: a per-image state machine driven by
+/// message lifecycle callbacks and synchronous element-wise-sum reduction
+/// waves. The same instance is reused across all waves of one `finish`
+/// block.
+pub trait WaveDetector {
+    /// Records an outgoing message; returns the parity tag it must carry.
+    fn on_send(&mut self) -> Parity;
+    /// Delivery acknowledgement for a message this image sent with `tag`.
+    fn on_delivered(&mut self, tag: Parity);
+    /// A message tagged `tag` arrived at this image.
+    fn on_receive(&mut self, tag: Parity);
+    /// A received message tagged `tag` finished executing locally.
+    fn on_complete(&mut self, tag: Parity);
+    /// Whether this image may enter the next reduction wave now.
+    fn ready(&self) -> bool;
+    /// Enters a wave, returning this image's contribution to the sum.
+    fn enter_wave(&mut self) -> Contribution;
+    /// Exits a wave given the element-wise global sum; returns a decision.
+    /// Every image of the team receives the same sum, so every image
+    /// reaches the same decision — the property that makes the final wave
+    /// double as the `end finish` barrier.
+    fn exit_wave(&mut self, reduced: Contribution) -> WaveDecision;
+    /// Number of waves this image has completed.
+    fn waves(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harness::{chain, node, Harness, SpawnPlan};
+    use super::*;
+
+    fn run_epoch(plan: SpawnPlan, images: usize) -> usize {
+        let mut h = Harness::new(images, || Box::new(EpochDetector::new(true)));
+        h.run(plan)
+    }
+
+    #[test]
+    fn empty_finish_takes_one_wave() {
+        // Base case of Theorem 1: L = 0 → 1 wave.
+        assert_eq!(run_epoch(SpawnPlan::default(), 4), 1);
+    }
+
+    #[test]
+    fn single_spawn_takes_at_most_two_waves() {
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, node(1, vec![])); // image 0 ships one fn to image 1
+        let waves = run_epoch(plan, 4);
+        assert!(waves <= 2, "L=1 must need ≤ 2 waves, got {waves}");
+    }
+
+    #[test]
+    fn chain_of_three_respects_theorem_bound() {
+        // f1 on q spawns f2 on r spawns f3 on s: L = 3 → ≤ 4 waves.
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, chain(&[1, 2, 3]));
+        let waves = run_epoch(plan, 4);
+        assert!(waves <= 4, "L=3 must need ≤ 4 waves, got {waves}");
+        assert!(waves >= 2, "a chain cannot finish in a single wave");
+    }
+
+    #[test]
+    fn four_counter_uses_extra_wave_on_empty_finish() {
+        // Four-counter must confirm with a second identical wave even when
+        // nothing was sent.
+        let mut h = Harness::new(4, || Box::new(FourCounterDetector::new()));
+        let waves = h.run(SpawnPlan::default());
+        assert_eq!(waves, 2);
+    }
+
+    #[test]
+    fn four_counter_terminates_on_fan_out() {
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, node(1, vec![node(2, vec![]), node(3, vec![])]));
+        let mut h = Harness::new(4, || Box::new(FourCounterDetector::new()));
+        let waves = h.run(plan);
+        assert!(waves >= 2);
+    }
+
+    #[test]
+    fn no_upper_bound_variant_never_uses_fewer_waves() {
+        for (len, imgs) in [(1usize, 4usize), (2, 4), (3, 8), (5, 8)] {
+            let targets: Vec<usize> = (1..=len).map(|i| i % imgs).collect();
+            let mut plan = SpawnPlan { exec_delay: 4, ..SpawnPlan::default() };
+            plan.spawn(0, chain(&targets));
+            let mut with = Harness::new(imgs, || Box::new(EpochDetector::new(true)));
+            let waves_with = with.run(plan.clone());
+            assert!(
+                waves_with <= len + 1,
+                "Theorem 1 violated: L={len} took {waves_with} waves"
+            );
+            let mut without = Harness::new(imgs, || Box::new(EpochDetector::new(false)));
+            let waves_without = without.run(plan);
+            assert!(
+                waves_without >= waves_with,
+                "chain={len}: {waves_without} < {waves_with}"
+            );
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Teams and the communication topologies built over them.
+//!
+//! A CAF 2.0 *team* (paper §II-A) is a first-class process subset serving
+//! three purposes: a coarray allocation domain, a relative-rank name space,
+//! and an isolated collective-communication domain. This module provides
+//! the pure membership/rank bookkeeping plus the tree and round schedules
+//! that both the threaded runtime and the discrete-event simulator use to
+//! drive collectives:
+//!
+//! * **binomial trees** for broadcast / reduce (and hence the synchronous
+//!   `allreduce` at the heart of `finish` termination detection),
+//! * **dissemination rounds** for barriers,
+//! * **hypercube neighbours** for UTS lifelines (paper §IV-C2c: offsets
+//!   2⁰, 2¹, …, 2^⌊log₂ p⌋).
+
+use crate::ids::{ImageId, TeamId, TeamRank};
+
+/// Immutable description of a team: its id and its members listed by
+/// team rank (so `members[k]` is the global image with team rank `k`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Team {
+    id: TeamId,
+    members: Vec<ImageId>,
+}
+
+impl Team {
+    /// Creates a team from its member list. Members must be distinct.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn new(id: TeamId, members: Vec<ImageId>) -> Self {
+        assert!(!members.is_empty(), "a team must have at least one member");
+        let mut seen = members.iter().map(|m| m.0).collect::<Vec<_>>();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), members.len(), "team members must be distinct");
+        Team { id, members }
+    }
+
+    /// The whole-world team over images `0..n`.
+    pub fn world(n: usize) -> Self {
+        Team::new(TeamId::WORLD, (0..n).map(ImageId).collect())
+    }
+
+    /// This team's id.
+    #[inline]
+    pub fn id(&self) -> TeamId {
+        self.id
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Members in team-rank order.
+    #[inline]
+    pub fn members(&self) -> &[ImageId] {
+        &self.members
+    }
+
+    /// Global image holding team rank `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank` is out of range.
+    #[inline]
+    pub fn image_of(&self, rank: TeamRank) -> ImageId {
+        self.members[rank.0]
+    }
+
+    /// Team rank of a global image, or `None` if it is not a member.
+    pub fn rank_of(&self, image: ImageId) -> Option<TeamRank> {
+        self.members.iter().position(|&m| m == image).map(TeamRank)
+    }
+
+    /// Splits this team the way CAF 2.0 `team_split(color, key)` does:
+    /// members with equal `color` form a new team, ordered by `key`
+    /// (ties broken by original rank). Returns `(color, members)` pairs in
+    /// ascending color order.
+    ///
+    /// `color_key` is evaluated per member rank. The caller assigns the new
+    /// `TeamId`s, since id allocation is a runtime concern.
+    pub fn split_by(&self, color_key: impl Fn(TeamRank) -> (u64, u64)) -> Vec<(u64, Vec<ImageId>)> {
+        let mut tagged: Vec<(u64, u64, usize)> = (0..self.size())
+            .map(|r| {
+                let (color, key) = color_key(TeamRank(r));
+                (color, key, r)
+            })
+            .collect();
+        tagged.sort_by_key(|&(color, key, r)| (color, key, r));
+        let mut out: Vec<(u64, Vec<ImageId>)> = Vec::new();
+        for (color, _key, r) in tagged {
+            match out.last_mut() {
+                Some((c, v)) if *c == color => v.push(self.members[r]),
+                _ => out.push((color, vec![self.members[r]])),
+            }
+        }
+        out
+    }
+}
+
+/// Number of dissemination/tree rounds for a team of `n`: ⌈log₂ n⌉.
+#[inline]
+pub fn log2_rounds(n: usize) -> usize {
+    assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Binomial-tree relations for a broadcast/reduce rooted at team rank
+/// `root` in a team of `size` members.
+///
+/// Ranks are rotated so the root is virtual rank 0; virtual rank `v` has
+/// parent `v - 2^k` where `2^k` is `v`'s lowest set bit, and children
+/// `v + 2^j` for `j` above `v`'s lowest set bit, while `< size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinomialTree {
+    size: usize,
+    root: usize,
+}
+
+impl BinomialTree {
+    /// Tree over `size` ranks rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if `root >= size` or `size == 0`.
+    pub fn new(size: usize, root: TeamRank) -> Self {
+        assert!(size > 0 && root.0 < size);
+        BinomialTree { size, root: root.0 }
+    }
+
+    #[inline]
+    fn to_virtual(&self, rank: TeamRank) -> usize {
+        (rank.0 + self.size - self.root) % self.size
+    }
+
+    #[inline]
+    fn from_virtual(&self, v: usize) -> TeamRank {
+        TeamRank((v + self.root) % self.size)
+    }
+
+    /// Parent of `rank` in the tree, or `None` for the root.
+    pub fn parent(&self, rank: TeamRank) -> Option<TeamRank> {
+        let v = self.to_virtual(rank);
+        if v == 0 {
+            None
+        } else {
+            let low = v & v.wrapping_neg();
+            Some(self.from_virtual(v - low))
+        }
+    }
+
+    /// Children of `rank`, in the order a broadcast should send to them
+    /// (largest subtree first, so the deepest subtree starts earliest).
+    pub fn children(&self, rank: TeamRank) -> Vec<TeamRank> {
+        let v = self.to_virtual(rank);
+        let low = if v == 0 { self.size.next_power_of_two() } else { v & v.wrapping_neg() };
+        let mut out = Vec::new();
+        let mut bit = low >> 1;
+        while bit > 0 {
+            let child = v + bit;
+            if child < self.size {
+                out.push(self.from_virtual(child));
+            }
+            bit >>= 1;
+        }
+        out
+    }
+
+    /// Depth of the tree (max edges root→leaf): ⌈log₂ size⌉.
+    pub fn depth(&self) -> usize {
+        log2_rounds(self.size)
+    }
+}
+
+/// Peers contacted by `rank` in each round of a dissemination barrier over
+/// `size` ranks: in round `i` (0-based), send to `(rank + 2^i) mod size`
+/// and expect from `(rank − 2^i) mod size`.
+pub fn dissemination_peers(size: usize, rank: TeamRank) -> Vec<(TeamRank, TeamRank)> {
+    assert!(rank.0 < size);
+    (0..log2_rounds(size.max(2)))
+        .map(|i| {
+            let d = 1usize << i;
+            let to = TeamRank((rank.0 + d) % size);
+            let from = TeamRank((rank.0 + size - d % size) % size);
+            (to, from)
+        })
+        .collect()
+}
+
+/// Hypercube lifeline neighbours of `rank` in a team of `size` (paper
+/// §IV-C2c): ranks `rank XOR 2^i` for `i = 0..⌈log₂ size⌉`, keeping those
+/// `< size`.
+pub fn hypercube_neighbors(size: usize, rank: TeamRank) -> Vec<TeamRank> {
+    assert!(rank.0 < size);
+    if size == 1 {
+        return Vec::new();
+    }
+    (0..log2_rounds(size))
+        .filter_map(|i| {
+            let n = rank.0 ^ (1usize << i);
+            (n < size).then_some(TeamRank(n))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_team_ranks_are_identity() {
+        let t = Team::world(5);
+        assert_eq!(t.size(), 5);
+        for i in 0..5 {
+            assert_eq!(t.rank_of(ImageId(i)), Some(TeamRank(i)));
+            assert_eq!(t.image_of(TeamRank(i)), ImageId(i));
+        }
+        assert_eq!(t.rank_of(ImageId(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_members_rejected() {
+        Team::new(TeamId(1), vec![ImageId(0), ImageId(0)]);
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        let t = Team::world(6);
+        // Colors: even/odd rank. Key: reverse order within the color.
+        let groups = t.split_by(|r| ((r.0 % 2) as u64, (10 - r.0) as u64));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[0].1, vec![ImageId(4), ImageId(2), ImageId(0)]);
+        assert_eq!(groups[1].1, vec![ImageId(5), ImageId(3), ImageId(1)]);
+    }
+
+    #[test]
+    fn log2_rounds_values() {
+        assert_eq!(log2_rounds(1), 0);
+        assert_eq!(log2_rounds(2), 1);
+        assert_eq!(log2_rounds(3), 2);
+        assert_eq!(log2_rounds(4), 2);
+        assert_eq!(log2_rounds(5), 3);
+        assert_eq!(log2_rounds(1024), 10);
+    }
+
+    /// Every non-root rank has exactly one parent, and parent/child
+    /// relations are mutual, for assorted sizes and roots.
+    #[test]
+    fn binomial_tree_is_consistent() {
+        for size in 1..=33 {
+            for root in [0, size / 2, size - 1] {
+                let tree = BinomialTree::new(size, TeamRank(root));
+                let mut reached = vec![false; size];
+                // Walk down from the root; every rank must be reached once.
+                let mut stack = vec![TeamRank(root)];
+                while let Some(r) = stack.pop() {
+                    assert!(!reached[r.0], "rank {} reached twice", r.0);
+                    reached[r.0] = true;
+                    for c in tree.children(r) {
+                        assert_eq!(tree.parent(c), Some(r));
+                        stack.push(c);
+                    }
+                }
+                assert!(reached.iter().all(|&x| x), "size={size} root={root}");
+                assert_eq!(tree.parent(TeamRank(root)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_depth_is_log() {
+        assert_eq!(BinomialTree::new(1, TeamRank(0)).depth(), 0);
+        assert_eq!(BinomialTree::new(8, TeamRank(0)).depth(), 3);
+        assert_eq!(BinomialTree::new(9, TeamRank(4)).depth(), 4);
+    }
+
+    /// After all dissemination rounds, information from every rank has
+    /// reached every other rank (the barrier correctness property).
+    #[test]
+    fn dissemination_reaches_everyone() {
+        for size in 1..=17 {
+            // knows[r] = bitmask of ranks whose arrival r has heard about.
+            let mut knows: Vec<u128> = (0..size).map(|r| 1u128 << r).collect();
+            let rounds = log2_rounds(size.max(2));
+            for round in 0..rounds {
+                let snapshot = knows.clone();
+                for r in 0..size {
+                    let (to, _from) = dissemination_peers(size, TeamRank(r))[round];
+                    knows[to.0] |= snapshot[r];
+                }
+            }
+            let all = (1u128 << size) - 1;
+            for (r, k) in knows.iter().enumerate() {
+                assert_eq!(*k, all, "size={size} rank={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_neighbors_are_symmetric_and_bounded() {
+        for size in 1..=20 {
+            for r in 0..size {
+                for n in hypercube_neighbors(size, TeamRank(r)) {
+                    assert!(n.0 < size);
+                    assert_ne!(n.0, r);
+                    assert!(
+                        hypercube_neighbors(size, n).contains(&TeamRank(r)),
+                        "size={size}: {r} -> {} not symmetric",
+                        n.0
+                    );
+                }
+            }
+        }
+        // p = 8: each rank has exactly 3 neighbours.
+        assert_eq!(hypercube_neighbors(8, TeamRank(5)).len(), 3);
+    }
+}

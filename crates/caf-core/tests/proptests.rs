@@ -1,0 +1,214 @@
+//! Property-based tests on caf-core invariants.
+//!
+//! The heart of the suite: the paper's termination-detection algorithm
+//! must be *sound* (never declare termination with work outstanding —
+//! checked by the harness itself), *live* (always terminate), and respect
+//! the Theorem 1 wave bound `waves ≤ L + 1`, across randomized spawn
+//! forests, delays, and message reorderings. Plus algebraic properties of
+//! the cofence/memory-model layer and the topology schedules.
+
+use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
+use caf_core::ids::TeamRank;
+use caf_core::model::{validate_execution, Execution, Stmt};
+use caf_core::termination::harness::{node, Harness, SpawnPlan, SpawnTree};
+use caf_core::termination::{EpochDetector, FourCounterDetector};
+use caf_core::topology::{dissemination_peers, hypercube_neighbors, BinomialTree, Team};
+use proptest::prelude::*;
+
+/// Strategy for a spawn tree over `images` images with bounded size.
+fn spawn_tree(images: usize) -> impl Strategy<Value = SpawnTree> {
+    let leaf = (0..images).prop_map(|t| node(t, vec![]));
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        ((0..images), prop::collection::vec(inner, 0..3))
+            .prop_map(|(t, children)| node(t, children))
+    })
+}
+
+fn spawn_plan(images: usize) -> impl Strategy<Value = SpawnPlan> {
+    (
+        prop::collection::vec(((0..images), spawn_tree(images)), 0..4),
+        1u64..5,   // net_delay
+        1u64..5,   // ack_delay
+        1u64..8,   // exec_delay
+        0u64..20,  // jitter_max
+        any::<u64>(), // jitter_seed
+        1u64..6,   // wave_delay
+    )
+        .prop_map(|(roots, net_delay, ack_delay, exec_delay, jitter_max, jitter_seed, wave_delay)| {
+            SpawnPlan { roots, net_delay, ack_delay, exec_delay, jitter_max, jitter_seed, wave_delay }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strict epoch detector is sound and live on arbitrary forests
+    /// and schedules, and respects Theorem 1: waves ≤ L + 1.
+    #[test]
+    fn epoch_detector_sound_live_and_bounded(plan in spawn_plan(6)) {
+        let l = plan.longest_chain();
+        let mut h = Harness::new(6, || Box::new(EpochDetector::new(true)));
+        let waves = h.run(plan); // panics internally if unsound/not live
+        prop_assert!(waves <= l + 1, "L={l} but used {waves} waves");
+        prop_assert!(waves >= 1);
+    }
+
+    /// The no-upper-bound variant stays sound and live, and never beats
+    /// the strict variant on wave count.
+    #[test]
+    fn no_wait_variant_sound_and_never_cheaper(plan in spawn_plan(5)) {
+        let mut strict = Harness::new(5, || Box::new(EpochDetector::new(true)));
+        let waves_strict = strict.run(plan.clone());
+        let mut loose = Harness::new(5, || Box::new(EpochDetector::new(false)));
+        let waves_loose = loose.run(plan);
+        prop_assert!(waves_loose >= waves_strict);
+    }
+
+    /// Mattern's four-counter algorithm is sound and live too, and needs
+    /// at least two waves (its structural extra reduction).
+    #[test]
+    fn four_counter_sound_live_needs_two_waves(plan in spawn_plan(5)) {
+        let mut h = Harness::new(5, || Box::new(FourCounterDetector::new()));
+        let waves = h.run(plan);
+        prop_assert!(waves >= 2);
+    }
+
+    /// Cofence permissiveness is monotone: anything admitted by a fence is
+    /// admitted by any at-least-as-permissive fence, in both directions.
+    #[test]
+    fn cofence_monotonicity(
+        d1 in 0usize..4, u1 in 0usize..4, d2 in 0usize..4, u2 in 0usize..4,
+        reads in any::<bool>(), writes in any::<bool>(),
+    ) {
+        const PASSES: [Pass; 4] = [Pass::None, Pass::Reads, Pass::Writes, Pass::Any];
+        let a = CofenceSpec::new(PASSES[d1], PASSES[u1]);
+        let b = CofenceSpec::new(PASSES[d2], PASSES[u2]);
+        let access = LocalAccess { reads, writes };
+        if b.at_least_as_permissive(&a) {
+            if !a.blocks_down(access) {
+                prop_assert!(!b.blocks_down(access));
+            }
+            if a.admits_up(access) {
+                prop_assert!(b.admits_up(access));
+            }
+        }
+    }
+
+    /// Executing every operation exactly at its program position is
+    /// always a legal execution (the relaxed model only *adds* freedom).
+    #[test]
+    fn program_order_execution_is_always_legal(
+        stmts in prop::collection::vec(arb_stmt(), 1..12)
+    ) {
+        let asyncs: Vec<usize> = stmts.iter().enumerate()
+            .filter_map(|(i, s)| matches!(s, Stmt::Async { .. }).then_some(i))
+            .collect();
+        let exec = Execution {
+            completed_by: asyncs.clone(),
+            initiated_at: asyncs.clone(),
+        };
+        prop_assert!(validate_execution(&stmts, &exec).is_empty());
+    }
+
+    /// A binomial tree over a random size/root reaches every rank exactly
+    /// once, with mutual parent/child links.
+    #[test]
+    fn binomial_tree_spans(size in 1usize..130, root_frac in 0.0f64..1.0) {
+        let root = ((size as f64 * root_frac) as usize).min(size - 1);
+        let tree = BinomialTree::new(size, TeamRank(root));
+        let mut reached = vec![false; size];
+        let mut stack = vec![TeamRank(root)];
+        while let Some(r) = stack.pop() {
+            prop_assert!(!reached[r.0]);
+            reached[r.0] = true;
+            for c in tree.children(r) {
+                prop_assert_eq!(tree.parent(c), Some(r));
+                stack.push(c);
+            }
+        }
+        prop_assert!(reached.iter().all(|&x| x));
+    }
+
+    /// `team_split` partitions the team: every member lands in exactly one
+    /// part, and parts are ordered by key.
+    #[test]
+    fn team_split_partitions(
+        n in 1usize..40,
+        colors in prop::collection::vec(0u64..5, 40),
+        keys in prop::collection::vec(0u64..10, 40),
+    ) {
+        let t = Team::world(n);
+        let parts = t.split_by(|r| (colors[r.0], keys[r.0]));
+        let total: usize = parts.iter().map(|(_, m)| m.len()).sum();
+        prop_assert_eq!(total, n);
+        let mut seen = std::collections::HashSet::new();
+        for (color, members) in &parts {
+            for (i, m) in members.iter().enumerate() {
+                prop_assert!(seen.insert(*m));
+                let rank = t.rank_of(*m).unwrap();
+                prop_assert_eq!(colors[rank.0], *color);
+                if i > 0 {
+                    let prev = t.rank_of(members[i - 1]).unwrap();
+                    prop_assert!(
+                        (keys[prev.0], prev.0) <= (keys[rank.0], rank.0),
+                        "members must be key-ordered"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Dissemination schedule correctness for arbitrary sizes: after all
+    /// rounds every rank has transitively heard from every other rank.
+    #[test]
+    fn dissemination_covers(size in 1usize..64) {
+        let mut knows: Vec<u128> = (0..size).map(|r| 1u128 << r).collect();
+        let rounds = dissemination_peers(size, TeamRank(0)).len();
+        for round in 0..rounds {
+            let snapshot = knows.clone();
+            for r in 0..size {
+                let (to, _) = dissemination_peers(size, TeamRank(r))[round];
+                knows[to.0] |= snapshot[r];
+            }
+        }
+        let all = (1u128 << size) - 1;
+        for k in &knows {
+            prop_assert_eq!(*k, all);
+        }
+    }
+
+    /// Hypercube lifelines form a connected graph (work can propagate from
+    /// anyone to anyone — the liveness Saraswat's lifeline scheme needs).
+    #[test]
+    fn lifeline_graph_is_connected(size in 1usize..200) {
+        let mut visited = vec![false; size];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(r) = stack.pop() {
+            for n in hypercube_neighbors(size, TeamRank(r)) {
+                if !visited[n.0] {
+                    visited[n.0] = true;
+                    count += 1;
+                    stack.push(n.0);
+                }
+            }
+        }
+        prop_assert_eq!(count, size);
+    }
+}
+
+/// Strategy for a random abstract program statement.
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    use caf_core::ids::{EventId, ImageId};
+    let access = (any::<bool>(), any::<bool>())
+        .prop_map(|(reads, writes)| LocalAccess { reads, writes });
+    let pass = (0usize..4).prop_map(|i| [Pass::None, Pass::Reads, Pass::Writes, Pass::Any][i]);
+    prop_oneof![
+        (access, any::<bool>()).prop_map(|(access, implicit)| Stmt::Async { access, implicit }),
+        (pass.clone(), pass).prop_map(|(d, u)| Stmt::Cofence(CofenceSpec::new(d, u))),
+        (0u64..3).prop_map(|s| Stmt::Notify(EventId { owner: ImageId(0), slot: s })),
+        (0u64..3).prop_map(|s| Stmt::Wait(EventId { owner: ImageId(0), slot: s })),
+        Just(Stmt::FinishEnd),
+    ]
+}

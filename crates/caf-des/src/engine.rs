@@ -1,0 +1,160 @@
+//! The discrete-event engine: a deterministic time-ordered event queue.
+//!
+//! Models drive the loop themselves (`while let Some((t, e)) = engine.pop()`),
+//! which keeps the engine free of callback lifetimes and lets a model hold
+//! `&mut` to both its own state and the engine. Determinism: ties in time
+//! break by schedule order, and nothing else consults wall clocks or
+//! ambient randomness.
+
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest first (max-heap inverted), ties by schedule order.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue carrying events of type `E`.
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// An empty engine at time zero.
+    pub fn new() -> Self {
+        Engine { queue: BinaryHeap::new(), now: 0, seq: 0, processed: 0 }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `ev` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, ev: E) {
+        self.schedule_at(self.now + delay, ev);
+    }
+
+    /// Schedules `ev` at an absolute time (must not precede `now`).
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.seq += 1;
+        self.queue.push(Scheduled { at: at.max(self.now), seq: self.seq, ev });
+    }
+
+    /// Pops the next event, advancing time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.queue.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.ev))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(30, "c");
+        e.schedule(10, "a");
+        e.schedule(20, "b");
+        assert_eq!(e.pop(), Some((10, "a")));
+        assert_eq!(e.pop(), Some((20, "b")));
+        assert_eq!(e.now(), 20);
+        assert_eq!(e.pop(), Some((30, "c")));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut e = Engine::new();
+        for i in 0..10 {
+            e.schedule(5, i);
+        }
+        for i in 0..10 {
+            assert_eq!(e.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn relative_scheduling_compounds() {
+        let mut e = Engine::new();
+        e.schedule(10, 1u8);
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, 10);
+        e.schedule(5, 2u8); // relative to now=10
+        assert_eq!(e.pop(), Some((15, 2)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut e = Engine::new();
+            let mut order = Vec::new();
+            for i in 0..50u64 {
+                e.schedule(i % 7, i);
+            }
+            while let Some((_, ev)) = e.pop() {
+                order.push(ev);
+                if ev % 5 == 0 && order.len() < 100 {
+                    e.schedule(3, ev + 1000);
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
+    }
+}

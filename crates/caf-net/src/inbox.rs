@@ -1,0 +1,209 @@
+//! Timed per-image inboxes.
+//!
+//! Each image owns one inbox. Messages are stamped with a delivery
+//! deadline when sent; [`Inbox::try_pop_due`] only surfaces a message once
+//! its deadline has passed, which is how the fabric models wire latency
+//! without dedicating a thread to the network. Blocked receivers park on a
+//! condvar with a timeout at the earliest pending deadline.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Timed<M> {
+    deliver_at: Instant,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Timed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Timed<M> {}
+impl<M> PartialOrd for Timed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Timed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap → invert for earliest-deadline-first.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+struct Inner<M> {
+    heap: BinaryHeap<Timed<M>>,
+    seq: u64,
+}
+
+/// A single image's timed message queue.
+pub struct Inbox<M> {
+    inner: Mutex<Inner<M>>,
+    arrived: Condvar,
+}
+
+impl<M> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox::new()
+    }
+}
+
+impl<M> Inbox<M> {
+    /// Creates an empty inbox.
+    pub fn new() -> Self {
+        Inbox {
+            inner: Mutex::new(Inner { heap: BinaryHeap::new(), seq: 0 }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a message to surface at `deliver_at`, waking any parked
+    /// receiver so it can re-evaluate its next deadline.
+    pub fn push(&self, deliver_at: Instant, msg: M) {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        inner.heap.push(Timed { deliver_at, seq, msg });
+        drop(inner);
+        self.arrived.notify_all();
+    }
+
+    /// Pops the earliest message whose deadline has passed, if any.
+    pub fn try_pop_due(&self) -> Option<M> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
+            Some(inner.heap.pop().expect("peeked").msg)
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until a message is due or `deadline` passes; returns the
+    /// message or `None` on timeout.
+    pub fn pop_due_until(&self, deadline: Instant) -> Option<M> {
+        let mut inner = self.inner.lock();
+        loop {
+            let now = Instant::now();
+            if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
+                return Some(inner.heap.pop().expect("peeked").msg);
+            }
+            if now >= deadline {
+                return None;
+            }
+            // Park until the earliest pending deadline, an arrival, or
+            // the caller's deadline — whichever comes first.
+            let until = inner
+                .heap
+                .peek()
+                .map(|t| t.deliver_at.min(deadline))
+                .unwrap_or(deadline);
+            self.arrived.wait_until(&mut inner, until);
+        }
+    }
+
+    /// Wakes any receiver parked in [`Inbox::wait_activity`] or
+    /// [`Inbox::pop_due_until`] without enqueueing a message. Used by
+    /// communication threads after advancing an operation's completion
+    /// state, so the image re-evaluates its wait predicate promptly.
+    pub fn poke(&self) {
+        self.arrived.notify_all();
+    }
+
+    /// Parks until *something happens*: a message arrives, [`Inbox::poke`]
+    /// is called, the earliest pending delivery deadline passes, or
+    /// `deadline` is reached. Callers re-check their predicate and drain
+    /// due messages after this returns; spurious wakeups are harmless.
+    pub fn wait_activity(&self, deadline: Instant) {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
+            return; // something is already due
+        }
+        let until = inner
+            .heap
+            .peek()
+            .map(|t| t.deliver_at.min(deadline))
+            .unwrap_or(deadline);
+        if until > now {
+            self.arrived.wait_until(&mut inner, until);
+        }
+    }
+
+    /// Number of queued messages (due or not) — the backpressure metric.
+    pub fn len(&self) -> usize {
+        self.inner.lock().heap.len()
+    }
+
+    /// Whether the inbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn due_messages_pop_in_deadline_order() {
+        let inbox = Inbox::new();
+        let now = Instant::now();
+        inbox.push(now, "b");
+        inbox.push(now - Duration::from_millis(1), "a");
+        assert_eq!(inbox.try_pop_due(), Some("a"));
+        assert_eq!(inbox.try_pop_due(), Some("b"));
+        assert_eq!(inbox.try_pop_due(), None);
+    }
+
+    #[test]
+    fn future_messages_are_withheld() {
+        let inbox = Inbox::new();
+        inbox.push(Instant::now() + Duration::from_millis(50), 42u32);
+        assert_eq!(inbox.try_pop_due(), None);
+        assert_eq!(inbox.len(), 1);
+        let got = inbox.pop_due_until(Instant::now() + Duration::from_millis(500));
+        assert_eq!(got, Some(42));
+    }
+
+    #[test]
+    fn pop_due_until_times_out() {
+        let inbox: Inbox<u8> = Inbox::new();
+        let start = Instant::now();
+        let got = inbox.pop_due_until(start + Duration::from_millis(20));
+        assert_eq!(got, None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn equal_deadlines_pop_in_push_order() {
+        let inbox = Inbox::new();
+        let t = Instant::now();
+        for i in 0..10 {
+            inbox.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(inbox.try_pop_due(), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let inbox = std::sync::Arc::new(Inbox::new());
+        let producer = {
+            let inbox = inbox.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                inbox.push(Instant::now(), 7u8);
+            })
+        };
+        let got = inbox.pop_due_until(Instant::now() + Duration::from_secs(5));
+        assert_eq!(got, Some(7));
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # caf-net
+//!
+//! The simulated interconnect the CAF 2.0 runtime runs over — the stand-in
+//! for GASNet on a Cray Gemini network (see DESIGN.md substitution table):
+//!
+//! * [`inbox`] — timed per-image message queues (latency is modelled by
+//!   delivery deadlines, not sleeping senders);
+//! * [`fabric`] — the transport: reliable, unordered unless configured
+//!   FIFO, with injection/latency/bandwidth costs and bounded-inbox
+//!   backpressure (the GASNet flow-control stand-in);
+//! * [`pump`] — the per-image communication engine, inline or offloaded to
+//!   a dedicated communication thread (paper §III-B);
+//! * [`stats`] — traffic counters for benches and ablations.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod inbox;
+pub mod pump;
+pub mod stats;
+
+pub use fabric::Fabric;
+pub use inbox::Inbox;
+pub use pump::{CommMode, CommPump};
+pub use stats::FabricStats;

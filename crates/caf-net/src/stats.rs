@@ -1,0 +1,54 @@
+//! Lock-free fabric traffic counters, used by benches and ablations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate counters for one fabric instance. All methods are safe to
+/// call concurrently; counts are monotone.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    backpressure_stalls: AtomicU64,
+}
+
+impl FabricStats {
+    pub(crate) fn note_send(&self, payload_bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_backpressure_stall(&self) {
+        self.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total messages sent through the fabric.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent through the fabric.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total sender stalls caused by inbox backpressure.
+    pub fn backpressure_stalls(&self) -> u64 {
+        self.backpressure_stalls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = FabricStats::default();
+        s.note_send(10);
+        s.note_send(5);
+        s.note_backpressure_stall();
+        assert_eq!(s.messages(), 2);
+        assert_eq!(s.bytes(), 15);
+        assert_eq!(s.backpressure_stalls(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on the fabric: reliability (no loss, no duplication),
+//! FIFO behaviour when reordering is off, and bounded reordering when on.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use caf_core::config::NetworkModel;
+use caf_core::ids::ImageId;
+use caf_net::Fabric;
+use proptest::prelude::*;
+
+fn drain(f: &Fabric<u64>, to: ImageId, n: usize) -> Vec<u64> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match f.recv_until(to, deadline) {
+            Some(v) => out.push(v),
+            None => panic!("timed out after {} of {n} messages", out.len()),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every message sent is delivered exactly once, whatever the mix of
+    /// senders, sizes, and latencies.
+    #[test]
+    fn no_loss_no_duplication(
+        sends in prop::collection::vec((0usize..4, 0usize..512), 1..120),
+        latency_us in 0u64..3,
+        non_fifo in any::<bool>(),
+    ) {
+        let model = NetworkModel {
+            latency: Duration::from_micros(latency_us),
+            inbox_capacity: None,
+            ..NetworkModel::instant()
+        };
+        let f: Arc<Fabric<u64>> = Fabric::new(5, model, non_fifo);
+        for (i, &(from, bytes)) in sends.iter().enumerate() {
+            f.send(ImageId(from), ImageId(4), bytes, i as u64);
+        }
+        let mut got = drain(&f, ImageId(4), sends.len());
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..sends.len() as u64).collect::<Vec<_>>());
+        prop_assert_eq!(f.stats().messages(), sends.len() as u64);
+    }
+
+    /// With reordering disabled and equal sizes, same-pair messages are
+    /// FIFO.
+    #[test]
+    fn fifo_when_ordered(count in 1usize..100, latency_us in 0u64..2) {
+        let model = NetworkModel {
+            latency: Duration::from_micros(latency_us),
+            inbox_capacity: None,
+            ..NetworkModel::instant()
+        };
+        let f: Arc<Fabric<u64>> = Fabric::new(2, model, false);
+        for i in 0..count as u64 {
+            f.send(ImageId(0), ImageId(1), 8, i);
+        }
+        let got = drain(&f, ImageId(1), count);
+        prop_assert_eq!(got, (0..count as u64).collect::<Vec<_>>());
+    }
+
+    /// Concurrent senders: reliability holds under real thread
+    /// interleavings.
+    #[test]
+    fn concurrent_senders_reliable(per_sender in 1usize..60) {
+        let f: Arc<Fabric<u64>> = Fabric::new(4, NetworkModel::instant(), false);
+        let handles: Vec<_> = (0..3)
+            .map(|s| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..per_sender as u64 {
+                        f.send(ImageId(s), ImageId(3), 8, (s as u64) << 32 | i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = drain(&f, ImageId(3), 3 * per_sender);
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got.len(), 3 * per_sender, "duplicate or lost message");
+    }
+}

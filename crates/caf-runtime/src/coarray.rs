@@ -1,0 +1,239 @@
+//! Coarrays: symmetric distributed arrays (paper §II-A purpose *a*).
+//!
+//! A coarray allocated over a team gives every member one equally sized
+//! *segment*. The segment owned by the executing image is accessed
+//! directly ([`Coarray::with_local`]); other images' segments are reached
+//! through the runtime's communication calls (`copy_async`, shipped
+//! functions). The segments live behind per-segment locks in shared
+//! memory — the runtime routes *data-plane traffic* through the fabric so
+//! latency semantics hold, but a shipped function executing at the owner
+//! touches the segment with plain loads and stores, which is precisely the
+//! function-shipping payoff the RandomAccess benchmark measures.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use caf_core::ids::ImageId;
+use parking_lot::Mutex;
+
+struct Inner<T> {
+    /// `segments[k]` is owned by `members[k]`.
+    segments: Vec<Mutex<Vec<T>>>,
+    members: Vec<ImageId>,
+    len_per_image: usize,
+}
+
+/// A handle to a coarray. Cheap to clone; all clones address the same
+/// storage (coarray handles are freely captured by shipped functions,
+/// which is how CAF 2.0 passes coarray sections by reference).
+pub struct Coarray<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Coarray<T> {
+    fn clone(&self) -> Self {
+        Coarray { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Clone + Send + 'static> Coarray<T> {
+    /// Allocates storage: one `len_per_image`-element segment per member,
+    /// each filled with `init`. Called by the runtime's collective
+    /// allocation; not directly by user code.
+    pub(crate) fn allocate(members: Vec<ImageId>, len_per_image: usize, init: T) -> Self {
+        let segments =
+            members.iter().map(|_| Mutex::new(vec![init.clone(); len_per_image])).collect();
+        Coarray { inner: Arc::new(Inner { segments, members, len_per_image }) }
+    }
+
+    /// Segment length (identical on every image).
+    pub fn len_per_image(&self) -> usize {
+        self.inner.len_per_image
+    }
+
+    /// Images that own a segment, in segment order.
+    pub fn members(&self) -> &[ImageId] {
+        &self.inner.members
+    }
+
+    /// Segment index owned by `image`, if it is a member.
+    pub fn segment_index(&self, image: ImageId) -> Option<usize> {
+        self.inner.members.iter().position(|&m| m == image)
+    }
+
+    /// Runs `f` over the segment owned by `image` with the lock held.
+    ///
+    /// # Panics
+    /// Panics if `image` owns no segment.
+    pub fn with_segment<R>(&self, image: ImageId, f: impl FnOnce(&mut [T]) -> R) -> R {
+        let idx = self
+            .segment_index(image)
+            .unwrap_or_else(|| panic!("{image} owns no segment of this coarray"));
+        let mut seg = self.inner.segments[idx].lock();
+        f(&mut seg)
+    }
+
+    /// Alias of [`Coarray::with_segment`] that reads as "my segment" at
+    /// call sites: `a.with_local(img.id(), |seg| …)`.
+    pub fn with_local<R>(&self, me: ImageId, f: impl FnOnce(&mut [T]) -> R) -> R {
+        self.with_segment(me, f)
+    }
+
+    /// Copies `range` of `image`'s segment out (lock held briefly).
+    pub fn read(&self, image: ImageId, range: Range<usize>) -> Vec<T> {
+        self.with_segment(image, |seg| seg[range].to_vec())
+    }
+
+    /// Overwrites `image`'s segment starting at `offset` with `data`.
+    pub fn write(&self, image: ImageId, offset: usize, data: &[T]) {
+        self.with_segment(image, |seg| {
+            seg[offset..offset + data.len()].clone_from_slice(data);
+        });
+    }
+
+    /// A slice designator usable as a `copy_async` endpoint: `range` of
+    /// the segment owned by `image`.
+    pub fn slice(&self, image: ImageId, range: Range<usize>) -> CoSlice<T> {
+        assert!(
+            range.end <= self.inner.len_per_image,
+            "slice {range:?} exceeds segment length {}",
+            self.inner.len_per_image
+        );
+        CoSlice { coarray: self.clone(), image, range }
+    }
+}
+
+/// A designated slice of one image's segment — the endpoints of
+/// `copy_async(destA[p1], srcA[p2], …)`.
+pub struct CoSlice<T> {
+    /// The coarray addressed.
+    pub coarray: Coarray<T>,
+    /// Which image's segment.
+    pub image: ImageId,
+    /// Element range within that segment.
+    pub range: Range<usize>,
+}
+
+impl<T> CoSlice<T> {
+    /// Number of elements designated.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+impl<T> Clone for CoSlice<T> {
+    fn clone(&self) -> Self {
+        CoSlice { coarray: self.coarray.clone(), image: self.image, range: self.range.clone() }
+    }
+}
+
+/// A process-local array usable as a `copy_async` source or destination.
+/// CAF distinguishes coarrays from ordinary local arrays; local arrays
+/// passed to asynchronous operations must outlive the operation, so they
+/// are reference-counted and lock-protected here.
+pub struct LocalArray<T> {
+    buf: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> Clone for LocalArray<T> {
+    fn clone(&self) -> Self {
+        LocalArray { buf: Arc::clone(&self.buf) }
+    }
+}
+
+impl<T: Clone + Send + 'static> LocalArray<T> {
+    /// Wraps a vector.
+    pub fn new(data: Vec<T>) -> Self {
+        LocalArray { buf: Arc::new(Mutex::new(data)) }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` with the contents borrowed mutably.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        f(&mut self.buf.lock())
+    }
+
+    /// Snapshot of `range`.
+    pub fn read(&self, range: Range<usize>) -> Vec<T> {
+        self.buf.lock()[range].to_vec()
+    }
+
+    /// Overwrites starting at `offset`.
+    pub fn write(&self, offset: usize, data: &[T]) {
+        let mut b = self.buf.lock();
+        b[offset..offset + data.len()].clone_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize) -> Vec<ImageId> {
+        (0..n).map(ImageId).collect()
+    }
+
+    #[test]
+    fn allocate_gives_equal_initialized_segments() {
+        let c: Coarray<u32> = Coarray::allocate(world(3), 4, 7);
+        for i in 0..3 {
+            assert_eq!(c.read(ImageId(i), 0..4), vec![7; 4]);
+        }
+        assert_eq!(c.len_per_image(), 4);
+    }
+
+    #[test]
+    fn write_is_per_segment() {
+        let c: Coarray<u32> = Coarray::allocate(world(2), 3, 0);
+        c.write(ImageId(1), 1, &[8, 9]);
+        assert_eq!(c.read(ImageId(0), 0..3), vec![0, 0, 0]);
+        assert_eq!(c.read(ImageId(1), 0..3), vec![0, 8, 9]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let c: Coarray<u8> = Coarray::allocate(world(2), 2, 0);
+        let d = c.clone();
+        d.write(ImageId(0), 0, &[5]);
+        assert_eq!(c.read(ImageId(0), 0..1), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds segment length")]
+    fn oversized_slice_rejected() {
+        let c: Coarray<u8> = Coarray::allocate(world(1), 2, 0);
+        let _ = c.slice(ImageId(0), 0..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "owns no segment")]
+    fn non_member_access_rejected() {
+        let c: Coarray<u8> = Coarray::allocate(world(2), 2, 0);
+        c.read(ImageId(5), 0..1);
+    }
+
+    #[test]
+    fn local_array_roundtrip() {
+        let a = LocalArray::new(vec![1u32, 2, 3]);
+        a.write(1, &[9]);
+        assert_eq!(a.read(0..3), vec![1, 9, 3]);
+        assert_eq!(a.len(), 3);
+        let b = a.clone();
+        b.with(|v| v.push(4));
+        assert_eq!(a.len(), 4);
+    }
+}

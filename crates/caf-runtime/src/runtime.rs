@@ -1,0 +1,127 @@
+//! Runtime launch and process-wide shared state.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use caf_core::config::RuntimeConfig;
+use caf_core::ids::{ImageId, TeamId};
+use caf_net::Fabric;
+use parking_lot::Mutex;
+
+use crate::event::EventTable;
+use crate::image::Image;
+use crate::msg::Msg;
+
+/// State shared by every image (and their communication threads).
+pub(crate) struct Shared {
+    /// The simulated interconnect.
+    pub fabric: Arc<Fabric<Msg>>,
+    /// Runtime configuration.
+    pub cfg: RuntimeConfig,
+    /// Number of images.
+    pub n: usize,
+    /// One event table per image, indexed by image rank. Shared so remote
+    /// notifies (handled by the owner) and comm threads (local notifies)
+    /// can both reach them.
+    pub event_tables: Vec<EventTable>,
+    /// Collective-allocation registry: the first image to allocate
+    /// `(team, seq)` creates the coarray; teammates attach to it. Entries
+    /// live for the runtime's lifetime (coarrays in CAF are symmetric,
+    /// long-lived objects; per-allocation this costs one boxed handle).
+    pub allocs: Mutex<HashMap<(TeamId, u64), Box<dyn Any + Send>>>,
+    /// `team_split` id registry: `(parent, split_seq, color) → TeamId`,
+    /// so every member of a new team agrees on its id.
+    pub team_ids: Mutex<HashMap<(TeamId, u64, u64), TeamId>>,
+    /// Next fresh team id (0 is `team_world`).
+    pub next_team: AtomicU64,
+}
+
+/// Entry point for the threaded CAF 2.0 runtime.
+pub struct Runtime;
+
+impl Runtime {
+    /// Launches `n` process images, each running `f` on its own OS thread
+    /// (the SPMD model: the same program starts everywhere and images
+    /// diverge on their rank). Returns every image's result, indexed by
+    /// rank.
+    ///
+    /// The closure may freely capture the caller's environment by
+    /// reference; images communicate only through the runtime.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or any image panics.
+    pub fn launch<R, F>(n: usize, cfg: RuntimeConfig, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Image) -> R + Send + Sync,
+    {
+        assert!(n > 0, "at least one image required");
+        // Inline communication runs copy data-plane sends on the image
+        // thread with a sleeping backpressure stall; combined with a
+        // bounded inbox, every image can end up asleep in a send with
+        // nobody draining. Dedicated comm threads (the default) or an
+        // unbounded inbox avoid the cycle.
+        assert!(
+            !(cfg.comm_mode == caf_core::config::CommMode::Inline
+                && cfg.network.inbox_capacity.is_some()),
+            "CommMode::Inline requires inbox_capacity: None (see CommMode docs); \
+             use CommMode::DedicatedThread with bounded inboxes"
+        );
+        let shared = Arc::new(Shared {
+            fabric: Fabric::new(n, cfg.network.clone(), cfg.non_fifo),
+            n,
+            event_tables: (0..n).map(|_| EventTable::default()).collect(),
+            allocs: Mutex::new(HashMap::new()),
+            team_ids: Mutex::new(HashMap::new()),
+            next_team: AtomicU64::new(1),
+            cfg,
+        });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    let f = &f;
+                    std::thread::Builder::new()
+                        .name(format!("caf-img-{i}"))
+                        .spawn_scoped(scope, move || {
+                            let img = Image::new(shared, ImageId(i));
+                            let r = f(&img);
+                            img.shutdown();
+                            r
+                        })
+                        .expect("spawning image thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("image thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_runs_every_image_once() {
+        let ranks = Runtime::launch(4, RuntimeConfig::testing(), |img| img.id().index());
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn closure_may_borrow_environment() {
+        let base = 100usize;
+        let out = Runtime::launch(3, RuntimeConfig::testing(), |img| base + img.id().index());
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one image")]
+    fn zero_images_rejected() {
+        let _ = Runtime::launch(0, RuntimeConfig::testing(), |_| ());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests driving the whole threaded runtime with
+//! randomized workloads. Case counts are modest (each case spins up a
+//! real runtime), but every case exercises the full stack: fabric,
+//! progress engine, detectors, collectives.
+
+use caf_runtime::{CopyEvents, Runtime, RuntimeConfig, TeamRank};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random spawn forests under finish: every shipped increment is
+    /// applied exactly once, whatever the fan-out/chain structure.
+    #[test]
+    fn finish_accounts_for_random_spawn_forests(
+        n in 2usize..6,
+        forest in prop::collection::vec((0usize..6, 0usize..6, 1usize..4), 1..20),
+    ) {
+        let total_expected: u64 = forest
+            .iter()
+            .filter(|(src, _, _)| *src < n)
+            .map(|&(_, _, chain)| chain as u64)
+            .sum();
+        let counts = Runtime::launch(n, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            let hits = img.coarray(&w, 1, 0u64);
+            img.finish(&w, |img| {
+                for &(src, dst, chain) in &forest {
+                    if src == img.id().index() && src < n {
+                        let h = hits.clone();
+                        spawn_chain(img, dst % n, chain, h);
+                    }
+                }
+            });
+            hits.read(img.id(), 0..1)[0]
+        });
+        prop_assert_eq!(counts.iter().sum::<u64>(), total_expected);
+    }
+
+    /// allreduce with random contributions equals the local fold, for
+    /// random team sizes.
+    #[test]
+    fn allreduce_matches_reference(
+        n in 1usize..7,
+        vals in prop::collection::vec(-1000i64..1000, 7),
+    ) {
+        let expect: i64 = vals[..n].iter().sum();
+        let sums = Runtime::launch(n, RuntimeConfig::testing(), |img| {
+            let w = img.world();
+            img.allreduce(&w, vals[img.id().index()], |a, b| a + b)
+        });
+        prop_assert!(sums.into_iter().all(|s| s == expect));
+    }
+
+    /// scan returns strictly the inclusive prefixes.
+    #[test]
+    fn scan_matches_reference(
+        n in 1usize..7,
+        vals in prop::collection::vec(0u64..1000, 7),
+    ) {
+        let vals2 = vals.clone();
+        let scans = Runtime::launch(n, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            img.scan(&w, vals2[img.id().index()], |a, b| a + b)
+        });
+        for (k, s) in scans.into_iter().enumerate() {
+            prop_assert_eq!(s, vals[..=k].iter().sum::<u64>());
+        }
+    }
+
+    /// Random team splits keep collectives isolated: each part's sum is
+    /// over its own members only.
+    #[test]
+    fn split_teams_isolate_reductions(
+        n in 2usize..7,
+        colors in prop::collection::vec(0u64..3, 7),
+    ) {
+        let colors2 = colors.clone();
+        let outs = Runtime::launch(n, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            let me = img.id().index();
+            let sub = img.team_split(&w, colors2[me], me as u64);
+            img.allreduce(&sub, me as i64, |a, b| a + b)
+        });
+        for (me, got) in outs.into_iter().enumerate() {
+            let expect: i64 =
+                (0..n).filter(|&k| colors[k] == colors[me]).map(|k| k as i64).sum();
+            prop_assert_eq!(got, expect, "member {} of color {}", me, colors[me]);
+        }
+    }
+
+    /// Scattered random copies under one finish all land.
+    #[test]
+    fn random_copies_all_land(
+        n in 2usize..5,
+        writes in prop::collection::vec((0usize..5, 0usize..16, 1u64..u64::MAX), 1..24),
+    ) {
+        // Last-writer-wins is not deterministic across images, so give
+        // every (dst, offset) a single writer: image 0 does all copies.
+        let mut dedup = std::collections::HashMap::new();
+        for &(dst, off, val) in &writes {
+            dedup.insert((dst % n, off), val);
+        }
+        let dedup2 = dedup.clone();
+        let tables = Runtime::launch(n, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            let a = img.coarray(&w, 16, 0u64);
+            img.finish(&w, |img| {
+                if img.id().index() == 0 {
+                    for (&(dst, off), &val) in &dedup2 {
+                        let buf = caf_runtime::LocalArray::new(vec![val]);
+                        img.copy_async_from(
+                            a.slice(img.image(dst), off..off + 1),
+                            &buf,
+                            0..1,
+                            CopyEvents::none(),
+                        );
+                    }
+                }
+            });
+            a.read(img.id(), 0..16)
+        });
+        for (&(dst, off), &val) in &dedup {
+            prop_assert_eq!(tables[dst][off], val, "copy to ({}, {}) lost", dst, off);
+        }
+    }
+
+    /// Sort produces a globally ordered permutation for random inputs.
+    #[test]
+    fn sort_is_an_ordered_permutation(
+        n in 1usize..6,
+        data in prop::collection::vec(prop::collection::vec(0u32..500, 0..30), 6),
+    ) {
+        let data2 = data.clone();
+        let runs = Runtime::launch(n, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            img.sort(&w, data2[img.id().index()].clone())
+        });
+        let got: Vec<u32> = runs.concat();
+        let mut expect: Vec<u32> = data[..n].concat();
+        expect.sort_unstable();
+        prop_assert!(got.windows(2).all(|p| p[0] <= p[1]));
+        let mut sorted_got = got.clone();
+        sorted_got.sort_unstable();
+        prop_assert_eq!(sorted_got, expect);
+    }
+}
+
+fn spawn_chain(img: &caf_runtime::Image, target: usize, left: usize, hits: caf_runtime::Coarray<u64>) {
+    if left == 0 {
+        return;
+    }
+    let t = img.image(target);
+    img.spawn(t, move |peer| {
+        hits.with_local(peer.id(), |seg| seg[0] += 1);
+        let next = (peer.id().index() + 1) % peer.num_images();
+        spawn_chain(peer, next, left - 1, hits.clone());
+    });
+}
+
+/// Broadcast roots other than rank 0 work for random roots.
+#[test]
+fn broadcast_random_roots() {
+    for root in 0..5 {
+        let vals = Runtime::launch(5, RuntimeConfig::testing(), move |img| {
+            let w = img.world();
+            img.broadcast(&w, TeamRank(root), (img.id().index() == root).then_some(root * 11))
+        });
+        assert!(vals.into_iter().all(|v| v == root * 11));
+    }
+}

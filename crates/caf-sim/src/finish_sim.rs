@@ -1,0 +1,182 @@
+//! Virtual-time `finish` coordination.
+//!
+//! Drives one [`EpochDetector`] per simulated image — the *same* state
+//! machine the threaded runtime uses — and models the synchronous team
+//! allreduce: a wave opens as images become eligible (idle, queue drained,
+//! detector-ready) and closes `allreduce_cost(p)` after the last image
+//! enters; every image receives the same sum. Messages delivered while a
+//! wave is open are counted in the odd epoch by the detector itself, so
+//! the consistent-cut arithmetic is identical to the real runtime's.
+
+use caf_core::ids::Parity;
+use caf_core::termination::{EpochDetector, WaveDecision, WaveDetector};
+
+/// Per-`finish`-block wave coordinator over `p` simulated images.
+pub struct FinishSim {
+    detectors: Vec<EpochDetector>,
+    in_wave: Vec<bool>,
+    entered: usize,
+    sum: [i64; 2],
+    waves: usize,
+    terminated: bool,
+    /// Entry time of the latest entrant (the wave's start for costing).
+    pub last_entry_ns: u64,
+}
+
+impl FinishSim {
+    /// Coordinator for `p` images; `strict` selects the paper's
+    /// wait-for-quiescence algorithm vs. the Fig. 18 no-upper-bound
+    /// baseline.
+    pub fn new(p: usize, strict: bool) -> Self {
+        FinishSim {
+            detectors: (0..p).map(|_| EpochDetector::new(strict)).collect(),
+            in_wave: vec![false; p],
+            entered: 0,
+            sum: [0; 2],
+            waves: 0,
+            terminated: false,
+            last_entry_ns: 0,
+        }
+    }
+
+    /// Records a send by `img`; returns the message's epoch tag.
+    pub fn on_send(&mut self, img: usize) -> Parity {
+        self.detectors[img].on_send()
+    }
+
+    /// Records delivery of a `tag`-tagged message at `img`.
+    pub fn on_receive(&mut self, img: usize, tag: Parity) {
+        self.detectors[img].on_receive(tag);
+    }
+
+    /// Records completion of a received message's handler at `img`.
+    pub fn on_complete(&mut self, img: usize, tag: Parity) {
+        self.detectors[img].on_complete(tag);
+    }
+
+    /// Records a delivery acknowledgement arriving back at sender `img`.
+    pub fn on_delivered(&mut self, img: usize) {
+        self.detectors[img].on_delivered(Parity::Even);
+    }
+
+    /// Whether `img`'s detector permits joining the next wave.
+    pub fn detector_ready(&self, img: usize) -> bool {
+        self.detectors[img].ready()
+    }
+
+    /// Whether `img` is currently inside the open wave.
+    pub fn in_wave(&self, img: usize) -> bool {
+        self.in_wave[img]
+    }
+
+    /// Global termination already detected?
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Waves completed so far (the Fig. 18 metric).
+    pub fn waves(&self) -> usize {
+        self.waves
+    }
+
+    /// Attempts to enter `img` into the open wave at time `now_ns`
+    /// (the model must have checked that `img` is otherwise idle).
+    /// Returns `true` if this entry completed the wave — the caller then
+    /// schedules a wave-completion event at `now + allreduce_cost`.
+    pub fn try_enter(&mut self, img: usize, now_ns: u64) -> bool {
+        if self.terminated || self.in_wave[img] || !self.detectors[img].ready() {
+            return false;
+        }
+        self.in_wave[img] = true;
+        self.entered += 1;
+        let c = self.detectors[img].enter_wave();
+        self.sum[0] += c[0];
+        self.sum[1] += c[1];
+        self.last_entry_ns = now_ns;
+        self.entered == self.detectors.len()
+    }
+
+    /// Completes the wave: every image exits with the global sum.
+    pub fn complete_wave(&mut self) -> WaveDecision {
+        assert_eq!(self.entered, self.detectors.len(), "wave completed early");
+        let sum = std::mem::take(&mut self.sum);
+        self.waves += 1;
+        self.entered = 0;
+        let mut decision = WaveDecision::Continue;
+        for (i, d) in self.detectors.iter_mut().enumerate() {
+            decision = d.exit_wave(sum);
+            self.in_wave[i] = false;
+        }
+        if decision == WaveDecision::Terminated {
+            self.terminated = true;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_system_terminates_in_one_wave() {
+        let mut f = FinishSim::new(3, true);
+        assert!(!f.try_enter(0, 10));
+        assert!(!f.try_enter(1, 20));
+        assert!(f.try_enter(2, 30), "last entrant closes the wave");
+        assert_eq!(f.last_entry_ns, 30);
+        assert_eq!(f.complete_wave(), WaveDecision::Terminated);
+        assert!(f.terminated());
+        assert_eq!(f.waves(), 1);
+    }
+
+    #[test]
+    fn outstanding_message_forces_second_wave() {
+        let mut f = FinishSim::new(2, true);
+        let tag = f.on_send(0);
+        // Image 1 idle, enters. Image 0 not ready (unacked send).
+        assert!(!f.try_enter(1, 0));
+        assert!(!f.try_enter(0, 0));
+        // Message lands & completes at 1; ack returns to 0.
+        f.on_receive(1, tag);
+        f.on_complete(1, tag);
+        f.on_delivered(0);
+        assert!(f.try_enter(0, 5), "now ready; wave closes");
+        // Image 1 entered before the completion was counted in its even
+        // epoch? It entered at t=0 with contribution 0; image 0
+        // contributes sent−completed = 1 → sum ≠ 0 → continue… unless
+        // image 1's counts landed pre-entry. Either way the protocol
+        // must terminate within two waves.
+        let d1 = f.complete_wave();
+        if d1 == WaveDecision::Continue {
+            assert!(!f.try_enter(0, 10) && f.try_enter(1, 10) || f.try_enter(0, 10));
+            while !f.in_wave(0) {
+                f.try_enter(0, 11);
+            }
+            while !f.in_wave(1) {
+                f.try_enter(1, 11);
+            }
+            assert_eq!(f.complete_wave(), WaveDecision::Terminated);
+        }
+        assert!(f.terminated());
+        assert!(f.waves() <= 2);
+    }
+
+    #[test]
+    fn loose_detector_enters_despite_outstanding_sends() {
+        let mut f = FinishSim::new(2, false);
+        let _tag = f.on_send(0);
+        assert!(!f.try_enter(0, 0), "first entrant doesn't close");
+        assert!(f.try_enter(1, 0));
+        // Sum sees the un-completed send → continue.
+        assert_eq!(f.complete_wave(), WaveDecision::Continue);
+    }
+
+    #[test]
+    #[should_panic(expected = "wave completed early")]
+    fn early_completion_is_rejected() {
+        let mut f = FinishSim::new(2, true);
+        f.try_enter(0, 0);
+        f.complete_wave();
+    }
+}

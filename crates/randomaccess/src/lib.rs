@@ -1,0 +1,15 @@
+//! # randomaccess
+//!
+//! The HPC Challenge RandomAccess benchmark (paper §IV-B): the official
+//! polynomial update stream with logarithmic `starts()` jumps, a
+//! distributed table as a coarray, and the paper's two kernels —
+//! racy Get-Update-Put and atomic function shipping with bunched
+//! `finish` blocks.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod stream;
+
+pub use kernels::{run_fs, run_gup, RaConfig, RaOutcome};
+pub use stream::{next, starts, PERIOD, POLY};

@@ -1,0 +1,99 @@
+//! The HPC Challenge RandomAccess update stream.
+//!
+//! The benchmark's random numbers come from the binary primitive
+//! polynomial `x⁶³ + x² + x + 1`: `aₖ₊₁ = (aₖ << 1) ^ (aₖ<0 ? POLY : 0)`
+//! over 64 bits. [`starts`] jumps to the `n`-th element in `O(log n)`
+//! squarings so each process image can generate its slice of the global
+//! update stream independently — exactly the official `HPCC_starts`.
+
+/// The primitive polynomial's low terms.
+pub const POLY: u64 = 0x7;
+/// Period of the sequence (HPCC constant).
+pub const PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// Next element of the stream.
+#[inline]
+pub fn next(ran: u64) -> u64 {
+    (ran << 1) ^ (if (ran as i64) < 0 { POLY } else { 0 })
+}
+
+/// The `n`-th element of the stream (`HPCC_starts`): logarithmic jump via
+/// repeated squaring of the step matrix over GF(2).
+pub fn starts(n: i64) -> u64 {
+    let mut n = n;
+    while n < 0 {
+        n += PERIOD;
+    }
+    while n > PERIOD {
+        n -= PERIOD;
+    }
+    if n == 0 {
+        return 0x1;
+    }
+    // m2[i] = x^(2^(i+1)) acting on the state: built by double-stepping.
+    let mut m2 = [0u64; 64];
+    let mut temp: u64 = 0x1;
+    for slot in m2.iter_mut() {
+        *slot = temp;
+        temp = next(next(temp));
+    }
+    let mut i: i32 = 62;
+    while i >= 0 && (n >> i) & 1 == 0 {
+        i -= 1;
+    }
+    let mut ran: u64 = 0x2;
+    while i > 0 {
+        let mut temp = 0u64;
+        for (j, m) in m2.iter().enumerate() {
+            if (ran >> j) & 1 == 1 {
+                temp ^= m;
+            }
+        }
+        ran = temp;
+        i -= 1;
+        if (n >> i) & 1 == 1 {
+            ran = next(ran);
+        }
+    }
+    ran
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zero_and_one() {
+        assert_eq!(starts(0), 0x1);
+        assert_eq!(starts(1), 0x2);
+    }
+
+    /// The logarithmic jump must agree with sequential iteration — the
+    /// defining property of `HPCC_starts`.
+    #[test]
+    fn starts_matches_sequential_iteration() {
+        let mut ran = starts(0);
+        for k in 1..=3000i64 {
+            ran = next(ran);
+            if k % 97 == 0 || k < 10 {
+                assert_eq!(starts(k), ran, "divergence at element {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_arguments_wrap_by_period() {
+        assert_eq!(starts(-1), starts(PERIOD - 1));
+        assert_eq!(starts(5 - PERIOD), starts(5));
+    }
+
+    #[test]
+    fn stream_visits_distinct_values() {
+        let mut seen = std::collections::HashSet::new();
+        let mut ran = starts(123_456);
+        for _ in 0..10_000 {
+            ran = next(ran);
+            assert!(seen.insert(ran), "short cycle detected");
+        }
+    }
+}

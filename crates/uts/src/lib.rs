@@ -1,0 +1,21 @@
+//! # uts
+//!
+//! The Unbalanced Tree Search benchmark (paper §IV-C): from-scratch
+//! SHA-1, the official splittable node-descriptor RNG, geometric and
+//! binomial tree specifications (T1/T1L/T1WL/T3), a sequential
+//! enumerator, and a CAF 2.0 parallel implementation combining initial
+//! work sharing, randomized work stealing via shipped functions,
+//! hypercube lifelines, and `finish` termination detection (paper
+//! Fig. 15).
+
+#![warn(missing_docs)]
+
+pub mod caf_uts;
+pub mod rng;
+pub mod sequential;
+pub mod sha1;
+pub mod tree;
+
+pub use rng::UtsRng;
+pub use sequential::{count_tree, count_tree_bounded, TreeStats};
+pub use tree::{GeoShape, Node, TreeKind, TreeSpec};

@@ -1,0 +1,182 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! The UTS benchmark derives every node's descriptor by hashing its
+//! parent's descriptor with the child index, so the tree's exact shape —
+//! and therefore the published node counts we validate against — depends
+//! on this being a bit-exact SHA-1. Not for security use; SHA-1 is
+//! cryptographically broken, which is irrelevant here (UTS uses it as a
+//! high-quality splittable RNG).
+
+/// Streaming SHA-1 context.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes processed so far.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh context with the FIPS initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len += data.len() as u64;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes, producing the 20-byte digest.
+    pub fn finish(mut self) -> [u8; 20] {
+        let bit_len = self.len * 8;
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, w) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let t = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = t;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// One-shot digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut ctx = Sha1::new();
+    ctx.update(data);
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-1 / RFC 3174 known-answer vectors.
+    #[test]
+    fn known_answer_vectors() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    /// One million 'a's — the classic long-message vector.
+    #[test]
+    fn million_a_vector() {
+        let mut ctx = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            ctx.update(&chunk);
+        }
+        assert_eq!(hex(&ctx.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    /// Splitting the input across arbitrary update boundaries must not
+    /// change the digest.
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..300).map(|i| (i * 7 % 251) as u8).collect();
+        let want = sha1(&data);
+        for split in [0usize, 1, 63, 64, 65, 128, 299] {
+            let mut ctx = Sha1::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finish(), want, "split at {split}");
+        }
+    }
+
+    /// Exactly-one-block and block-boundary padding edge cases.
+    #[test]
+    fn block_boundary_lengths() {
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xABu8; len];
+            let mut ctx = Sha1::new();
+            for b in &data {
+                ctx.update(std::slice::from_ref(b));
+            }
+            assert_eq!(ctx.finish(), sha1(&data), "len {len}");
+        }
+    }
+}

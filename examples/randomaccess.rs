@@ -1,0 +1,50 @@
+//! HPC Challenge RandomAccess end-to-end (paper §IV-B).
+//!
+//! Run with: `cargo run --release --example randomaccess [images] [log_local]`
+//!
+//! Runs both kernels on the threaded runtime — the racy Get-Update-Put
+//! reference and the atomic function-shipping version with bunched
+//! `finish` — verifies them HPCC-style (the update stream is self-inverse
+//! under xor), and prints update rates.
+
+use caf2::randomaccess::{run_fs, run_gup, RaConfig};
+use caf2::{CommMode, RuntimeConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let images: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let log_local: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    assert!(images.is_power_of_two(), "RandomAccess needs a power-of-two image count");
+
+    let cfg = RaConfig {
+        log_local,
+        updates_per_image: 4 << log_local.min(14), // 4×table, HPCC-style, capped
+        bunch: 512,
+        verify: true,
+    };
+    let rt = || RuntimeConfig { comm_mode: CommMode::DedicatedThread, ..RuntimeConfig::default() };
+
+    println!(
+        "RandomAccess: {} images × 2^{} words, {} updates/image, bunch {}",
+        images, log_local, cfg.updates_per_image, cfg.bunch
+    );
+
+    let fs = run_fs(images, rt(), cfg);
+    println!(
+        "  function shipping: {:>8.1} ms, {:.4} GUPS, errors {:?} (atomic ⇒ 0), {} finishes/image",
+        fs.elapsed.as_secs_f64() * 1e3,
+        fs.gups,
+        fs.errors,
+        fs.finishes_per_image
+    );
+    assert_eq!(fs.errors, Some(0));
+
+    let gup = run_gup(images, rt(), cfg);
+    let pct = 100.0 * gup.errors.unwrap_or(0) as f64 / gup.updates as f64;
+    println!(
+        "  get-update-put:    {:>8.1} ms, {:.4} GUPS, errors {:?} ({pct:.2}% — racy by design)",
+        gup.elapsed.as_secs_f64() * 1e3,
+        gup.gups,
+        gup.errors,
+    );
+}

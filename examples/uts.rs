@@ -1,0 +1,59 @@
+//! Unbalanced Tree Search end-to-end (paper §IV-C).
+//!
+//! Run with: `cargo run --release --example uts [depth] [images]`
+//!
+//! Counts a geometric UTS tree three ways and cross-checks them:
+//! sequentially, in parallel on the threaded CAF 2.0 runtime (lifeline
+//! work stealing + `finish` termination), and under the discrete-event
+//! simulator at the same image count — then scales the simulator to
+//! paper-sized teams to show parallel efficiency (Fig. 17's metric).
+
+use caf2::sim::{run_uts_sim, UtsSimConfig};
+use caf2::uts::caf_uts::{run_uts, UtsConfig};
+use caf2::uts::{count_tree, TreeSpec};
+use caf2::{CommMode, RuntimeConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let images: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let spec = TreeSpec::geo_fixed(4.0, depth, 19);
+
+    println!("UTS GEO-FIXED b=4 d={depth} seed=19");
+    let t0 = std::time::Instant::now();
+    let seq = count_tree(&spec);
+    println!(
+        "  sequential:     {} nodes, {} leaves, depth {} ({:.2}s)",
+        seq.nodes,
+        seq.leaves,
+        seq.max_depth,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let rt = RuntimeConfig { comm_mode: CommMode::DedicatedThread, ..RuntimeConfig::default() };
+    let t0 = std::time::Instant::now();
+    let par = run_uts(images, rt, UtsConfig::new(spec));
+    println!(
+        "  runtime ({images} images): {} nodes ({:.2}s), per-image spread {:?}",
+        par.total_nodes,
+        t0.elapsed().as_secs_f64(),
+        par.per_image
+    );
+    assert_eq!(par.total_nodes, seq.nodes, "parallel traversal lost or duplicated nodes");
+    println!("  finish termination used {} reduction wave(s)", par.waves[0]);
+
+    // The same algorithm at paper scale, in virtual time.
+    println!("  simulated parallel efficiency (node cost 10 µs):");
+    for p in [16usize, 64, 256, 1024] {
+        let mut cfg = UtsSimConfig::new(spec, p);
+        cfg.node_cost_ns = 10_000;
+        let r = run_uts_sim(cfg);
+        assert_eq!(r.total_nodes, seq.nodes);
+        println!(
+            "    p={p:>5}: {:>7.3} ms virtual, efficiency {:.2}, {} waves",
+            r.sim_time_ns as f64 / 1e6,
+            r.efficiency(p, 10_000),
+            r.waves
+        );
+    }
+}

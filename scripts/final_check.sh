@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Sequential full verification: build, test (tee), figures (tee), bench (tee).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+cargo build --workspace --release 2>&1 | tail -2
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "result:|FAILED" | tail -30

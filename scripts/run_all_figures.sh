@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and ablation, teeing outputs to results/.
+# Full run takes ~10-15 minutes on one core (the UTS simulations dominate);
+# set UTS_DEPTH=11 for a ~1-minute smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in fig05_barrier_failure fig12_cofence fig13_randomaccess \
+           fig14_bunch_size fig16_load_balance fig17_uts_efficiency \
+           fig18_allreduce_rounds ablation_detectors ablation_comm_thread \
+           ablation_steal_chunk ablation_treeshape; do
+  echo "=== $bin ==="
+  cargo run --release -p bench --bin "$bin" | tee "results/$bin.txt"
+done
+echo "All figure outputs in results/"

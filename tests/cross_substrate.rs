@@ -1,0 +1,72 @@
+//! Cross-substrate agreement: the threaded runtime and the discrete-event
+//! simulator run the same algorithms over the same shared state machines,
+//! so their *logical* results must agree exactly.
+
+use caf2::sim::{run_uts_sim, UtsSimConfig};
+use caf2::uts::caf_uts::{run_uts, UtsConfig};
+use caf2::uts::{count_tree, TreeSpec};
+use caf2::RuntimeConfig;
+
+/// UTS totals agree between sequential, threaded-parallel, and simulated
+/// execution for several team sizes.
+#[test]
+fn uts_totals_agree_across_substrates() {
+    let spec = TreeSpec::geo_fixed(4.0, 6, 19);
+    let expect = count_tree(&spec).nodes;
+    for p in [2usize, 4, 8] {
+        let threaded = run_uts(p, RuntimeConfig::testing(), UtsConfig::new(spec));
+        assert_eq!(threaded.total_nodes, expect, "threaded p={p}");
+        let sim = run_uts_sim(UtsSimConfig::new(spec, p));
+        assert_eq!(sim.total_nodes, expect, "simulated p={p}");
+    }
+}
+
+/// The simulator's efficiency metric behaves sanely: in (0, 1], and not
+/// degenerate at larger team sizes on a sufficiently large tree.
+#[test]
+fn simulated_efficiency_is_well_formed() {
+    let spec = TreeSpec::geo_fixed(4.0, 9, 19);
+    for p in [4usize, 32, 128] {
+        let mut cfg = UtsSimConfig::new(spec, p);
+        cfg.node_cost_ns = 20_000;
+        let r = run_uts_sim(cfg);
+        let e = r.efficiency(p, 20_000);
+        assert!(e > 0.0 && e <= 1.0, "p={p}: efficiency {e} out of range");
+        if p <= 32 {
+            assert!(e > 0.5, "p={p}: efficiency {e} implausibly low");
+        }
+    }
+}
+
+/// Load balance comes out of the simulator the way Fig. 16 needs it:
+/// relative work clusters around 1.0.
+#[test]
+fn simulated_load_balance_clusters_near_one() {
+    let spec = TreeSpec::geo_fixed(4.0, 9, 19);
+    let mut cfg = UtsSimConfig::new(spec, 64);
+    cfg.node_cost_ns = 20_000;
+    let r = run_uts_sim(cfg);
+    let rel = r.relative_work();
+    let within = rel.iter().filter(|&&x| (0.5..2.0).contains(&x)).count();
+    assert!(
+        within >= rel.len() * 9 / 10,
+        "≥90 % of images should be within 2× of perfect balance: {rel:?}"
+    );
+}
+
+/// The strict detector never uses more waves than the no-upper-bound
+/// variant, in the simulator, across team sizes (the Fig. 18 claim).
+#[test]
+fn strict_finish_never_uses_more_waves() {
+    let spec = TreeSpec::geo_fixed(4.0, 7, 19);
+    for p in [8usize, 32, 128] {
+        let strict = run_uts_sim(UtsSimConfig { strict_finish: true, ..UtsSimConfig::new(spec, p) });
+        let loose = run_uts_sim(UtsSimConfig { strict_finish: false, ..UtsSimConfig::new(spec, p) });
+        assert!(
+            strict.waves <= loose.waves,
+            "p={p}: strict {} > loose {}",
+            strict.waves,
+            loose.waves
+        );
+    }
+}

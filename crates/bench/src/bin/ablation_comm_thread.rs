@@ -36,7 +36,12 @@ fn run(mode: CommMode, iters: u64, words: usize) -> f64 {
         if img.id().index() == 0 {
             for i in 0..iters {
                 let target = img.image(1 + (i as usize % (p - 1)));
-                img.copy_async_from(dst.slice(target, 0..words), &src, 0..words, CopyEvents::none());
+                img.copy_async_from(
+                    dst.slice(target, 0..words),
+                    &src,
+                    0..words,
+                    CopyEvents::none(),
+                );
                 img.cofence();
                 // "produce": touch the whole buffer.
                 src.with(|b| {

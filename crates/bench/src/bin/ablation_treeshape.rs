@@ -9,8 +9,8 @@
 use std::time::Instant;
 
 use bench::{fmt_ns, print_table};
-use caf_des::SimNet;
 use caf_core::rng::SplitMix64;
+use caf_des::SimNet;
 use caf_runtime::{CommMode, NetworkModel, Runtime, RuntimeConfig};
 
 fn main() {

@@ -15,7 +15,8 @@ fn main() {
     let mut rows = Vec::new();
     for depth in [2usize, 3, 5] {
         for exec_delay in [2u64, 5, 20] {
-            let mut plan = SpawnPlan { net_delay: 1, ack_delay: 1, exec_delay, ..SpawnPlan::default() };
+            let mut plan =
+                SpawnPlan { net_delay: 1, ack_delay: 1, exec_delay, ..SpawnPlan::default() };
             let targets: Vec<usize> = (1..=depth).collect();
             plan.spawn(0, chain(&targets));
             let images = depth + 1;

@@ -90,7 +90,12 @@ fn run_threaded(p: usize, iters: u64, variant: SyncVariant) -> f64 {
                     if img.id().index() == 0 {
                         for k in 0..5 {
                             let dst = img.image(1 + ((i as usize + k) % (p - 1)));
-                            img.copy_async_from(buf.slice(dst, 0..10), &src, 0..10, CopyEvents::none());
+                            img.copy_async_from(
+                                buf.slice(dst, 0..10),
+                                &src,
+                                0..10,
+                                CopyEvents::none(),
+                            );
                         }
                         img.cofence();
                         src.with(|b| b[0] = i);

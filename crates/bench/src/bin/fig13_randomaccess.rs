@@ -22,11 +22,8 @@ fn main() {
     let updates = 4096usize;
     let mut rows = Vec::new();
     for p in [32usize, 64, 128, 256, 512, 1024, 2048, 4096, 8192] {
-        let mk = |bunch: usize| RaSimConfig {
-            updates_per_image: updates,
-            bunch,
-            ..RaSimConfig::new(p)
-        };
+        let mk =
+            |bunch: usize| RaSimConfig { updates_per_image: updates, bunch, ..RaSimConfig::new(p) };
         let gup = run_ra_gup_sim(&mk(updates));
         // The paper's three series group the same updates into
         // 2048/4096/8192 finish blocks on a 2^22 table; with `updates`
@@ -57,10 +54,8 @@ fn main() {
     // ------------------------------------------------------------------
     let mut rows = Vec::new();
     for p in [2usize, 4, 8] {
-        let rt = || RuntimeConfig {
-            comm_mode: CommMode::DedicatedThread,
-            ..RuntimeConfig::default()
-        };
+        let rt =
+            || RuntimeConfig { comm_mode: CommMode::DedicatedThread, ..RuntimeConfig::default() };
         let base = RaConfig { log_local: 14, updates_per_image: 8192, bunch: 512, verify: false };
         let gup = run_gup(p, rt(), base);
         let fs_a = run_fs(p, rt(), RaConfig { bunch: 512, ..base });

@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+pub use crate::fault::{FaultDecision, FaultPlan, LinkFault, RetryPolicy, StallWindow};
+
 /// Cost model of the simulated interconnect.
 ///
 /// A message of `n` payload bytes sent at time `t` is *delivered* (its
@@ -141,6 +143,18 @@ pub struct RuntimeConfig {
     /// wave (the paper's algorithm, Fig. 7 line 4). `false` selects the
     /// "algorithm w/o upper bound" baseline of Fig. 18.
     pub finish_wait_quiescence: bool,
+    /// Fault-injection schedule. `None` (or an inactive plan) keeps the
+    /// fabric on its zero-overhead reliable path; an active plan routes
+    /// every remote message through the ack/retry delivery layer and
+    /// perturbs it per the plan.
+    pub faults: Option<FaultPlan>,
+    /// Ack-timeout/retransmission policy of the reliable-delivery layer
+    /// (only consulted when `faults` is active).
+    pub retry: RetryPolicy,
+    /// No-progress watchdog window: if no image makes progress for this
+    /// long, the runtime dumps per-image diagnostics and aborts with
+    /// `RuntimeError::Stalled` instead of hanging. `None` disables it.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -151,6 +165,9 @@ impl Default for RuntimeConfig {
             seed: 0x5eed,
             non_fifo: false,
             finish_wait_quiescence: true,
+            faults: None,
+            retry: RetryPolicy::default(),
+            watchdog: None,
         }
     }
 }
@@ -179,10 +196,7 @@ mod tests {
             ..NetworkModel::instant()
         };
         assert_eq!(m.wire_time(0), Duration::from_micros(10));
-        assert_eq!(
-            m.wire_time(1000),
-            Duration::from_micros(10) + Duration::from_micros(2)
-        );
+        assert_eq!(m.wire_time(1000), Duration::from_micros(10) + Duration::from_micros(2));
     }
 
     #[test]

@@ -130,8 +130,7 @@ impl EpochState {
     /// the even-side contribution in [`EpochState::enter_wave`].
     pub fn ready_for_wave(&self) -> bool {
         self.even.sent + self.odd.sent == self.even.delivered + self.odd.delivered
-            && self.even.received + self.odd.received
-                == self.even.completed + self.odd.completed
+            && self.even.received + self.odd.received == self.even.completed + self.odd.completed
     }
 
     /// Enters the allreduce: flips into the odd epoch (if not already
@@ -154,8 +153,7 @@ impl EpochState {
     /// Sum of messages this image has sent minus completed, over both
     /// parities — used by invariant checks in tests.
     pub fn local_imbalance(&self) -> i64 {
-        (self.even.sent + self.odd.sent) as i64
-            - (self.even.completed + self.odd.completed) as i64
+        (self.even.sent + self.odd.sent) as i64 - (self.even.completed + self.odd.completed) as i64
     }
 }
 

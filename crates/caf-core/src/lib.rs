@@ -6,6 +6,8 @@
 //!
 //! * [`ids`] — image/team/finish/event identifiers and epoch [`ids::Parity`];
 //! * [`config`] — the interconnect cost model and runtime configuration;
+//! * [`fault`] — seeded deterministic fault injection (drops, duplicates,
+//!   delay spikes, stragglers) and the retry policy that answers it;
 //! * [`topology`] — teams, `team_split`, binomial trees, dissemination
 //!   rounds, hypercube lifeline neighbours;
 //! * [`epoch`] — the even/odd epoch counters of the `finish` termination
@@ -28,6 +30,7 @@
 pub mod cofence;
 pub mod config;
 pub mod epoch;
+pub mod fault;
 pub mod ids;
 pub mod model;
 pub mod rng;
@@ -37,5 +40,6 @@ pub mod topology;
 pub use cofence::{CofenceSpec, LocalAccess, Pass};
 pub use config::{CommMode, NetworkModel, RuntimeConfig};
 pub use epoch::{EpochCounters, EpochState};
+pub use fault::{FaultDecision, FaultPlan, RetryPolicy, SeqTracker, StallWindow};
 pub use ids::{EventId, FinishId, ImageId, Parity, TeamId, TeamRank};
 pub use topology::{BinomialTree, Team};

@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn plain_full_cofence_blocks_implicit_ops_both_ways() {
-        let p = [implicit(LocalAccess::READ), Stmt::Cofence(CofenceSpec::FULL), implicit(LocalAccess::WRITE)];
+        let p = [
+            implicit(LocalAccess::READ),
+            Stmt::Cofence(CofenceSpec::FULL),
+            implicit(LocalAccess::WRITE),
+        ];
         assert!(!may_complete_after(&p, 0, 1));
         assert!(!may_initiate_before(&p, 2, 1));
     }

@@ -40,13 +40,7 @@ impl CentralizedDetector {
     /// Worker state for `me` among `places` images.
     pub fn new(me: ImageId, places: usize) -> Self {
         assert!(me.0 < places);
-        CentralizedDetector {
-            me,
-            places,
-            pending: vec![0; places],
-            active: 0,
-            reports_sent: 0,
-        }
+        CentralizedDetector { me, places, pending: vec![0; places], active: 0, reports_sent: 0 }
     }
 
     /// Records spawning one activity to `target`.

@@ -26,11 +26,7 @@ impl EpochDetector {
     /// Creates a detector. `wait_for_quiescence` selects between the
     /// paper's algorithm (`true`) and the no-upper-bound variant (`false`).
     pub fn new(wait_for_quiescence: bool) -> Self {
-        EpochDetector {
-            state: EpochState::new(),
-            wait_for_quiescence,
-            waves: 0,
-        }
+        EpochDetector { state: EpochState::new(), wait_for_quiescence, waves: 0 }
     }
 
     /// Read access to the underlying epoch state (for tests/metrics).

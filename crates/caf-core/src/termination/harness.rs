@@ -194,13 +194,17 @@ impl Harness {
     fn schedule(&mut self, delay: u64, ev: Ev) {
         let jitter = if self.jitter_max > 0 { self.rng.next_below(self.jitter_max) } else { 0 };
         self.seq += 1;
-        self.queue.push(Scheduled { time: self.now + delay + jitter, seq: self.seq, ev });
+        self.queue
+            .push(Scheduled { time: self.now + delay + jitter, seq: self.seq, ev });
     }
 
     fn send_spawn(&mut self, from: usize, tree: SpawnTree, net_delay: u64) {
         let tag = self.detectors[from].on_send();
         self.outstanding += 1;
-        self.schedule(net_delay, Ev::Deliver { to: tree.target, from, tag, children: tree.children });
+        self.schedule(
+            net_delay,
+            Ev::Deliver { to: tree.target, from, tag, children: tree.children },
+        );
     }
 
     fn process(&mut self, ev: Ev, plan: &SpawnPlan) {
@@ -281,10 +285,7 @@ impl Harness {
             waves += 1;
             let mut decisions = self.detectors.iter_mut().map(|d| d.exit_wave(sum));
             let first = decisions.next().expect("n > 0");
-            assert!(
-                decisions.all(|d| d == first),
-                "detectors disagreed on the wave decision"
-            );
+            assert!(decisions.all(|d| d == first), "detectors disagreed on the wave decision");
             match first {
                 WaveDecision::Terminated => {
                     assert_eq!(
@@ -316,11 +317,11 @@ impl Harness {
         let mut rng = SplitMix64::new(plan.jitter_seed);
 
         let schedule = |queue: &mut BinaryHeap<Scheduled>,
-                            seq: &mut u64,
-                            now: u64,
-                            rng: &mut SplitMix64,
-                            delay: u64,
-                            ev: Ev| {
+                        seq: &mut u64,
+                        now: u64,
+                        rng: &mut SplitMix64,
+                        delay: u64,
+                        ev: Ev| {
             let jitter = if plan.jitter_max > 0 { rng.next_below(plan.jitter_max) } else { 0 };
             *seq += 1;
             queue.push(Scheduled { time: now + delay + jitter, seq: *seq, ev });
@@ -329,12 +330,14 @@ impl Harness {
         for (initiator, tree) in plan.roots.clone() {
             let tag = dets[initiator].on_send();
             outstanding += 1;
-            schedule(&mut queue, &mut seq, now, &mut rng, plan.net_delay, Ev::Deliver {
-                to: tree.target,
-                from: initiator,
-                tag,
-                children: tree.children,
-            });
+            schedule(
+                &mut queue,
+                &mut seq,
+                now,
+                &mut rng,
+                plan.net_delay,
+                Ev::Deliver { to: tree.target, from: initiator, tag, children: tree.children },
+            );
         }
 
         loop {
@@ -352,27 +355,41 @@ impl Harness {
             match next.ev {
                 Ev::Deliver { to, from, tag, children } => {
                     dets[to].on_receive(tag);
-                    schedule(&mut queue, &mut seq, now, &mut rng, plan.ack_delay, Ev::Ack {
-                        to: from,
-                        tag,
-                    });
-                    schedule(&mut queue, &mut seq, now, &mut rng, plan.exec_delay, Ev::ExecDone {
-                        at: to,
-                        tag,
-                        children,
-                    });
+                    schedule(
+                        &mut queue,
+                        &mut seq,
+                        now,
+                        &mut rng,
+                        plan.ack_delay,
+                        Ev::Ack { to: from, tag },
+                    );
+                    schedule(
+                        &mut queue,
+                        &mut seq,
+                        now,
+                        &mut rng,
+                        plan.exec_delay,
+                        Ev::ExecDone { at: to, tag, children },
+                    );
                 }
                 Ev::Ack { to, tag } => dets[to].on_delivered(tag),
                 Ev::ExecDone { at, tag, children } => {
                     for child in children {
                         let ctag = dets[at].on_send();
                         outstanding += 1;
-                        schedule(&mut queue, &mut seq, now, &mut rng, plan.net_delay, Ev::Deliver {
-                            to: child.target,
-                            from: at,
-                            tag: ctag,
-                            children: child.children,
-                        });
+                        schedule(
+                            &mut queue,
+                            &mut seq,
+                            now,
+                            &mut rng,
+                            plan.net_delay,
+                            Ev::Deliver {
+                                to: child.target,
+                                from: at,
+                                tag: ctag,
+                                children: child.children,
+                            },
+                        );
                     }
                     dets[at].on_complete(tag);
                     outstanding -= 1;
@@ -431,11 +448,7 @@ mod tests {
     #[test]
     fn no_wait_variant_sound_under_jitter() {
         for seed in 0..20 {
-            let mut plan = SpawnPlan {
-                jitter_max: 11,
-                jitter_seed: seed,
-                ..SpawnPlan::default()
-            };
+            let mut plan = SpawnPlan { jitter_max: 11, jitter_seed: seed, ..SpawnPlan::default() };
             plan.spawn(1, chain(&[2, 0, 2]));
             let mut h = Harness::new(3, || Box::new(EpochDetector::new(false)));
             h.run(plan);
@@ -445,11 +458,7 @@ mod tests {
     #[test]
     fn four_counter_sound_under_jitter() {
         for seed in 0..20 {
-            let mut plan = SpawnPlan {
-                jitter_max: 13,
-                jitter_seed: seed,
-                ..SpawnPlan::default()
-            };
+            let mut plan = SpawnPlan { jitter_max: 13, jitter_seed: seed, ..SpawnPlan::default() };
             plan.spawn(0, node(1, vec![node(2, vec![node(3, vec![])])]));
             let mut h = Harness::new(4, || Box::new(FourCounterDetector::new()));
             h.run(plan);
@@ -461,12 +470,8 @@ mod tests {
     /// while f2 is still outstanding; the epoch detector does not.
     #[test]
     fn barrier_detector_misses_transitive_spawn() {
-        let mut plan = SpawnPlan {
-            net_delay: 1,
-            ack_delay: 1,
-            exec_delay: 5,
-            ..SpawnPlan::default()
-        };
+        let mut plan =
+            SpawnPlan { net_delay: 1, ack_delay: 1, exec_delay: 5, ..SpawnPlan::default() };
         plan.spawn(0, node(1, vec![node(2, vec![])]));
 
         let run = Harness::run_barrier(3, plan.clone());

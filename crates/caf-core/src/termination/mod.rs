@@ -134,16 +134,10 @@ mod tests {
             plan.spawn(0, chain(&targets));
             let mut with = Harness::new(imgs, || Box::new(EpochDetector::new(true)));
             let waves_with = with.run(plan.clone());
-            assert!(
-                waves_with <= len + 1,
-                "Theorem 1 violated: L={len} took {waves_with} waves"
-            );
+            assert!(waves_with <= len + 1, "Theorem 1 violated: L={len} took {waves_with} waves");
             let mut without = Harness::new(imgs, || Box::new(EpochDetector::new(false)));
             let waves_without = without.run(plan);
-            assert!(
-                waves_without >= waves_with,
-                "chain={len}: {waves_without} < {waves_with}"
-            );
+            assert!(waves_without >= waves_with, "chain={len}: {waves_without} < {waves_with}");
         }
     }
 }

@@ -130,37 +130,37 @@ impl BinomialTree {
     }
 
     #[inline]
-    fn to_virtual(&self, rank: TeamRank) -> usize {
+    fn virtual_of(&self, rank: TeamRank) -> usize {
         (rank.0 + self.size - self.root) % self.size
     }
 
     #[inline]
-    fn from_virtual(&self, v: usize) -> TeamRank {
+    fn rank_at(&self, v: usize) -> TeamRank {
         TeamRank((v + self.root) % self.size)
     }
 
     /// Parent of `rank` in the tree, or `None` for the root.
     pub fn parent(&self, rank: TeamRank) -> Option<TeamRank> {
-        let v = self.to_virtual(rank);
+        let v = self.virtual_of(rank);
         if v == 0 {
             None
         } else {
             let low = v & v.wrapping_neg();
-            Some(self.from_virtual(v - low))
+            Some(self.rank_at(v - low))
         }
     }
 
     /// Children of `rank`, in the order a broadcast should send to them
     /// (largest subtree first, so the deepest subtree starts earliest).
     pub fn children(&self, rank: TeamRank) -> Vec<TeamRank> {
-        let v = self.to_virtual(rank);
+        let v = self.virtual_of(rank);
         let low = if v == 0 { self.size.next_power_of_two() } else { v & v.wrapping_neg() };
         let mut out = Vec::new();
         let mut bit = low >> 1;
         while bit > 0 {
             let child = v + bit;
             if child < self.size {
-                out.push(self.from_virtual(child));
+                out.push(self.rank_at(child));
             }
             bit >>= 1;
         }
@@ -287,9 +287,9 @@ mod tests {
             let rounds = log2_rounds(size.max(2));
             for round in 0..rounds {
                 let snapshot = knows.clone();
-                for r in 0..size {
+                for (r, snap) in snapshot.iter().enumerate() {
                     let (to, _from) = dissemination_peers(size, TeamRank(r))[round];
-                    knows[to.0] |= snapshot[r];
+                    knows[to.0] |= snap;
                 }
             }
             let all = (1u128 << size) - 1;

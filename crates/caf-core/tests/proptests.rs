@@ -7,11 +7,15 @@
 //! forests, delays, and message reorderings. Plus algebraic properties of
 //! the cofence/memory-model layer and the topology schedules.
 
+use std::time::Duration;
+
 use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
-use caf_core::ids::TeamRank;
+use caf_core::fault::{FaultDecision, FaultPlan, RetryPolicy, SeqTracker};
+use caf_core::ids::{Parity, TeamRank};
 use caf_core::model::{validate_execution, Execution, Stmt};
+use caf_core::rng::SplitMix64;
 use caf_core::termination::harness::{node, Harness, SpawnPlan, SpawnTree};
-use caf_core::termination::{EpochDetector, FourCounterDetector};
+use caf_core::termination::{EpochDetector, FourCounterDetector, WaveDetector};
 use caf_core::topology::{dissemination_peers, hypercube_neighbors, BinomialTree, Team};
 use proptest::prelude::*;
 
@@ -27,16 +31,26 @@ fn spawn_tree(images: usize) -> impl Strategy<Value = SpawnTree> {
 fn spawn_plan(images: usize) -> impl Strategy<Value = SpawnPlan> {
     (
         prop::collection::vec(((0..images), spawn_tree(images)), 0..4),
-        1u64..5,   // net_delay
-        1u64..5,   // ack_delay
-        1u64..8,   // exec_delay
-        0u64..20,  // jitter_max
+        1u64..5,      // net_delay
+        1u64..5,      // ack_delay
+        1u64..8,      // exec_delay
+        0u64..20,     // jitter_max
         any::<u64>(), // jitter_seed
-        1u64..6,   // wave_delay
+        1u64..6,      // wave_delay
     )
-        .prop_map(|(roots, net_delay, ack_delay, exec_delay, jitter_max, jitter_seed, wave_delay)| {
-            SpawnPlan { roots, net_delay, ack_delay, exec_delay, jitter_max, jitter_seed, wave_delay }
-        })
+        .prop_map(
+            |(roots, net_delay, ack_delay, exec_delay, jitter_max, jitter_seed, wave_delay)| {
+                SpawnPlan {
+                    roots,
+                    net_delay,
+                    ack_delay,
+                    exec_delay,
+                    jitter_max,
+                    jitter_seed,
+                    wave_delay,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -166,9 +180,9 @@ proptest! {
         let rounds = dissemination_peers(size, TeamRank(0)).len();
         for round in 0..rounds {
             let snapshot = knows.clone();
-            for r in 0..size {
+            for (r, snap) in snapshot.iter().enumerate() {
                 let (to, _) = dissemination_peers(size, TeamRank(r))[round];
-                knows[to.0] |= snapshot[r];
+                knows[to.0] |= snap;
             }
         }
         let all = (1u128 << size) - 1;
@@ -198,11 +212,120 @@ proptest! {
     }
 }
 
+/// Strategy for a random fault plan over `images` images: uniform drops,
+/// duplication, delay spikes, per-link overrides, and stall windows.
+fn fault_plan(images: usize) -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0u32..40,
+        0u32..40,
+        0u32..30,
+        prop::collection::vec((0..images, 0..images, 0u32..101), 0..3),
+        prop::collection::vec((0..images, 0u64..50, 1u64..50), 0..2),
+    )
+        .prop_map(|(seed, drop, dup, spike, links, stalls)| {
+            let mut p = FaultPlan::uniform_drop(seed, drop as f64 / 100.0)
+                .with_dup(dup as f64 / 100.0)
+                .with_spikes(spike as f64 / 100.0, Duration::from_micros(10));
+            for (f, t, d) in links {
+                p = p.with_link(f, t, d as f64 / 100.0);
+            }
+            for (i, s, l) in stalls {
+                p = p.with_stall(i, Duration::from_micros(s), Duration::from_micros(l));
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault decisions are a pure function of (plan, link, sequence), and
+    /// self-sends are always exempt — the bedrock of reproducible chaos.
+    #[test]
+    fn fault_decisions_deterministic_and_self_exempt(
+        plan in fault_plan(6),
+        probes in prop::collection::vec((0usize..6, 0usize..6, any::<u64>()), 1..50),
+    ) {
+        for (from, to, seq) in probes {
+            let d = plan.decide(from, to, seq);
+            prop_assert_eq!(d, plan.decide(from, to, seq), "decision must be pure");
+            if from == to {
+                prop_assert_eq!(d, FaultDecision::CLEAN);
+            }
+        }
+    }
+
+    /// The abstract reliable link: each message is retransmitted until a
+    /// copy survives the plan's drops (or the retry budget runs out), the
+    /// surviving copies — including injected duplicates — arrive in an
+    /// adversarial shuffle, and [`SeqTracker`] dedup restores exactly-once:
+    /// no loss (beyond explicit budget exhaustion) and no double count.
+    #[test]
+    fn retry_plus_dedup_restores_exactly_once(
+        plan in fault_plan(4),
+        n in 1usize..120,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let retry = RetryPolicy::default();
+        let mut wire_seq = 0u64;
+        let mut copies: Vec<u64> = Vec::new();
+        let mut lost = 0usize;
+        for link_seq in 0..n as u64 {
+            let mut delivered = false;
+            for _attempt in 0..=retry.max_retries {
+                let d = plan.decide(0, 1, wire_seq);
+                wire_seq += 1;
+                if !d.drop {
+                    copies.push(link_seq);
+                    if d.duplicate {
+                        copies.push(link_seq);
+                    }
+                    delivered = true;
+                    break; // the ack stops further retransmission
+                }
+            }
+            if !delivered {
+                lost += 1;
+            }
+        }
+        // Adversarial reorder (Fisher–Yates under a seeded stream).
+        let mut rng = SplitMix64::new(shuffle_seed);
+        for i in (1..copies.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            copies.swap(i, j);
+        }
+        let mut tracker = SeqTracker::default();
+        let fresh = copies.iter().filter(|&&s| tracker.note(s)).count();
+        prop_assert_eq!(fresh, n - lost, "each surviving message surfaces exactly once");
+        // A replay of the whole stream surfaces nothing new.
+        prop_assert!(copies.iter().all(|&s| !tracker.note(s)), "double count on replay");
+    }
+
+    /// No early termination at the detector level: a strict detector with
+    /// any unacknowledged send — e.g. one lingering in a retry queue —
+    /// must refuse to enter the reduction wave.
+    #[test]
+    fn detector_never_ready_with_outstanding_sends(k in 1usize..30, acked in 0usize..30) {
+        let acked = acked.min(k);
+        let mut d = EpochDetector::new(true);
+        for _ in 0..k {
+            let _ = d.on_send();
+        }
+        for _ in 0..acked {
+            d.on_delivered(Parity::Even);
+        }
+        if acked < k {
+            prop_assert!(!d.ready(), "ready with {} unacked sends", k - acked);
+        }
+    }
+}
+
 /// Strategy for a random abstract program statement.
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
     use caf_core::ids::{EventId, ImageId};
-    let access = (any::<bool>(), any::<bool>())
-        .prop_map(|(reads, writes)| LocalAccess { reads, writes });
+    let access =
+        (any::<bool>(), any::<bool>()).prop_map(|(reads, writes)| LocalAccess { reads, writes });
     let pass = (0usize..4).prop_map(|i| [Pass::None, Pass::Reads, Pass::Writes, Pass::Any][i]);
     prop_oneof![
         (access, any::<bool>()).prop_map(|(access, implicit)| Stmt::Async { access, implicit }),

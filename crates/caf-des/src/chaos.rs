@@ -1,0 +1,127 @@
+//! Fault injection and retry policy in simulated time: the virtual-time
+//! mirror of `caf-net`'s chaos layer.
+//!
+//! The decision logic is *shared*, not re-implemented — [`ChaosWire`]
+//! delegates every drop/duplicate/spike roll to the same
+//! [`FaultPlan::decide`] the threaded fabric consults, keyed by the same
+//! `(seed, link, wire sequence)` triple, so a fault schedule is one object
+//! with two executions. This layer only translates the plan's `Duration`
+//! vocabulary into the engine's integer nanoseconds and exposes the
+//! retransmission-timer arithmetic models need to schedule ack-timeout
+//! events.
+
+use std::time::Duration;
+
+use caf_core::fault::{FaultDecision, FaultPlan, RetryPolicy};
+
+/// A fault plan plus retry policy, projected into integer-nanosecond
+/// simulated time.
+#[derive(Debug, Clone)]
+pub struct ChaosWire {
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    spike_ns: u64,
+}
+
+impl ChaosWire {
+    /// Wraps `plan` and `retry` for virtual-time use.
+    pub fn new(plan: FaultPlan, retry: RetryPolicy) -> Self {
+        let spike_ns = plan.spike_delay.as_nanos() as u64;
+        ChaosWire { plan, retry, spike_ns }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the plan perturbs anything at all.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// The fate of wire transmission `wire_seq` on `from → to` — the
+    /// identical roll the threaded fabric would make.
+    pub fn decide(&self, from: usize, to: usize, wire_seq: u64) -> FaultDecision {
+        self.plan.decide(from, to, wire_seq)
+    }
+
+    /// Extra delivery delay from a delay spike, if `d` says so.
+    pub fn spike_ns(&self, d: FaultDecision) -> u64 {
+        if d.delay_spike {
+            self.spike_ns
+        } else {
+            0
+        }
+    }
+
+    /// Extra delivery delay from stall (straggler) windows covering either
+    /// endpoint at simulated time `now_ns` (time zero = plan epoch).
+    pub fn stall_extra_ns(&self, from: usize, to: usize, now_ns: u64) -> u64 {
+        let at = Duration::from_nanos(now_ns);
+        (self.plan.stall_extra(from, at) + self.plan.stall_extra(to, at)).as_nanos() as u64
+    }
+
+    /// Ack timeout in force after `attempts` transmissions (1 = original).
+    pub fn timeout_ns(&self, attempts: u32) -> u64 {
+        self.retry.timeout_after(attempts).as_nanos() as u64
+    }
+
+    /// Retransmission budget per message.
+    pub fn max_retries(&self) -> u32 {
+        self.retry.max_retries
+    }
+
+    /// Worst-case nanoseconds from first transmission to giving up.
+    pub fn exhaustion_horizon_ns(&self) -> u64 {
+        self.retry.exhaustion_horizon().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(drop_p: f64) -> ChaosWire {
+        ChaosWire::new(
+            FaultPlan::uniform_drop(0xFA11, drop_p).with_dup(0.1),
+            RetryPolicy {
+                ack_timeout: Duration::from_micros(10),
+                backoff: 2,
+                max_timeout: Duration::from_micros(50),
+                max_retries: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn decisions_match_the_shared_plan_exactly() {
+        let w = wire(0.3);
+        let plan = FaultPlan::uniform_drop(0xFA11, 0.3).with_dup(0.1);
+        for seq in 0..500 {
+            assert_eq!(w.decide(2, 7, seq), plan.decide(2, 7, seq));
+        }
+    }
+
+    #[test]
+    fn timeout_schedule_in_nanoseconds() {
+        let w = wire(0.0);
+        assert_eq!(w.timeout_ns(1), 10_000);
+        assert_eq!(w.timeout_ns(2), 20_000);
+        assert_eq!(w.timeout_ns(3), 40_000);
+        assert_eq!(w.timeout_ns(4), 50_000, "capped at max_timeout");
+        assert_eq!(w.exhaustion_horizon_ns(), 10_000 + 20_000 + 40_000 + 50_000);
+    }
+
+    #[test]
+    fn stall_windows_project_into_sim_time() {
+        let plan =
+            FaultPlan::none(1).with_stall(4, Duration::from_micros(100), Duration::from_micros(40));
+        let w = ChaosWire::new(plan, RetryPolicy::default());
+        assert_eq!(w.stall_extra_ns(4, 0, 50_000), 0, "before the window");
+        assert_eq!(w.stall_extra_ns(4, 0, 100_000), 40_000, "window start");
+        assert_eq!(w.stall_extra_ns(0, 4, 120_000), 20_000, "either endpoint");
+        assert_eq!(w.stall_extra_ns(0, 4, 140_000), 0, "window closed");
+        assert_eq!(w.stall_extra_ns(0, 1, 110_000), 0, "uninvolved link");
+    }
+}

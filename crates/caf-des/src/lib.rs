@@ -10,12 +10,17 @@
 //! * [`engine`] — the time-ordered event queue (deterministic tie-breaks,
 //!   no wall-clock or ambient randomness);
 //! * [`net`] — the interconnect cost model in integer nanoseconds,
-//!   convertible from the shared [`caf_core::config::NetworkModel`].
+//!   convertible from the shared [`caf_core::config::NetworkModel`];
+//! * [`chaos`] — the fault-injection plan and retry policy projected into
+//!   simulated time, sharing [`caf_core::fault::FaultPlan`]'s decision
+//!   stream with the threaded fabric.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod net;
 
+pub use chaos::ChaosWire;
 pub use engine::{Engine, SimTime};
 pub use net::SimNet;

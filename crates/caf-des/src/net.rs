@@ -81,7 +81,13 @@ mod tests {
 
     #[test]
     fn jitter_bounded() {
-        let net = SimNet { latency_ns: 100, injection_ns: 0, byte_cost_mils: 0, handler_ns: 0, jitter_ns: 50 };
+        let net = SimNet {
+            latency_ns: 100,
+            injection_ns: 0,
+            byte_cost_mils: 0,
+            handler_ns: 0,
+            jitter_ns: 50,
+        };
         let mut rng = SplitMix64::new(7);
         for _ in 0..100 {
             let d = net.delivery_delay(0, &mut rng);
@@ -91,7 +97,13 @@ mod tests {
 
     #[test]
     fn allreduce_cost_grows_logarithmically() {
-        let net = SimNet { latency_ns: 1000, injection_ns: 0, byte_cost_mils: 0, handler_ns: 0, jitter_ns: 0 };
+        let net = SimNet {
+            latency_ns: 1000,
+            injection_ns: 0,
+            byte_cost_mils: 0,
+            handler_ns: 0,
+            jitter_ns: 0,
+        };
         let mut rng = SplitMix64::new(1);
         let c2 = net.allreduce_cost(2, &mut rng);
         let c1024 = net.allreduce_cost(1024, &mut rng);

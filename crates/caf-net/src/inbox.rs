@@ -7,6 +7,7 @@
 //! condvar with a timeout at the earliest pending deadline.
 
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
@@ -44,6 +45,12 @@ struct Inner<M> {
 pub struct Inbox<M> {
     inner: Mutex<Inner<M>>,
     arrived: Condvar,
+    /// Notified on every pop, so senders parked on flow control wake the
+    /// moment space frees instead of sleep-polling.
+    space: Condvar,
+    /// Queue depth mirror, maintained under `inner`'s lock but readable
+    /// without it — `len()` is on senders' flow-control fast path.
+    len: AtomicUsize,
 }
 
 impl<M> Default for Inbox<M> {
@@ -58,6 +65,8 @@ impl<M> Inbox<M> {
         Inbox {
             inner: Mutex::new(Inner { heap: BinaryHeap::new(), seq: 0 }),
             arrived: Condvar::new(),
+            space: Condvar::new(),
+            len: AtomicUsize::new(0),
         }
     }
 
@@ -68,6 +77,7 @@ impl<M> Inbox<M> {
         inner.seq += 1;
         let seq = inner.seq;
         inner.heap.push(Timed { deliver_at, seq, msg });
+        self.len.store(inner.heap.len(), Ordering::Release);
         drop(inner);
         self.arrived.notify_all();
     }
@@ -77,7 +87,11 @@ impl<M> Inbox<M> {
         let now = Instant::now();
         let mut inner = self.inner.lock();
         if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
-            Some(inner.heap.pop().expect("peeked").msg)
+            let msg = inner.heap.pop().expect("peeked").msg;
+            self.len.store(inner.heap.len(), Ordering::Release);
+            drop(inner);
+            self.space.notify_all();
+            Some(msg)
         } else {
             None
         }
@@ -90,20 +104,38 @@ impl<M> Inbox<M> {
         loop {
             let now = Instant::now();
             if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
-                return Some(inner.heap.pop().expect("peeked").msg);
+                let msg = inner.heap.pop().expect("peeked").msg;
+                self.len.store(inner.heap.len(), Ordering::Release);
+                drop(inner);
+                self.space.notify_all();
+                return Some(msg);
             }
             if now >= deadline {
                 return None;
             }
             // Park until the earliest pending deadline, an arrival, or
             // the caller's deadline — whichever comes first.
-            let until = inner
-                .heap
-                .peek()
-                .map(|t| t.deliver_at.min(deadline))
-                .unwrap_or(deadline);
+            let until = inner.heap.peek().map(|t| t.deliver_at.min(deadline)).unwrap_or(deadline);
             self.arrived.wait_until(&mut inner, until);
         }
+    }
+
+    /// Parks the caller until the queue depth drops below `cap`, a drain
+    /// notification arrives, or `deadline` passes. Returns whether space
+    /// is available. Senders loop on this under flow control; the timeout
+    /// guards against missed wakeups and lets callers re-check abort
+    /// conditions periodically.
+    pub fn wait_space_until(&self, cap: usize, deadline: Instant) -> bool {
+        if self.len() < cap {
+            return true;
+        }
+        let mut inner = self.inner.lock();
+        while inner.heap.len() >= cap {
+            if self.space.wait_until(&mut inner, deadline).timed_out() {
+                return inner.heap.len() < cap;
+            }
+        }
+        true
     }
 
     /// Wakes any receiver parked in [`Inbox::wait_activity`] or
@@ -112,6 +144,9 @@ impl<M> Inbox<M> {
     /// state, so the image re-evaluates its wait predicate promptly.
     pub fn poke(&self) {
         self.arrived.notify_all();
+        // Senders parked on flow control also re-check (a poke may mean
+        // the runtime is aborting and they must stop waiting for space).
+        self.space.notify_all();
     }
 
     /// Parks until *something happens*: a message arrives, [`Inbox::poke`]
@@ -124,19 +159,16 @@ impl<M> Inbox<M> {
         if inner.heap.peek().is_some_and(|t| t.deliver_at <= now) {
             return; // something is already due
         }
-        let until = inner
-            .heap
-            .peek()
-            .map(|t| t.deliver_at.min(deadline))
-            .unwrap_or(deadline);
+        let until = inner.heap.peek().map(|t| t.deliver_at.min(deadline)).unwrap_or(deadline);
         if until > now {
             self.arrived.wait_until(&mut inner, until);
         }
     }
 
     /// Number of queued messages (due or not) — the backpressure metric.
+    /// Lock-free: reads the atomic depth mirror.
     pub fn len(&self) -> usize {
-        self.inner.lock().heap.len()
+        self.len.load(Ordering::Acquire)
     }
 
     /// Whether the inbox is empty.
@@ -190,6 +222,43 @@ mod tests {
         for i in 0..10 {
             assert_eq!(inbox.try_pop_due(), Some(i));
         }
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let inbox = Inbox::new();
+        let t = Instant::now();
+        assert!(inbox.is_empty());
+        inbox.push(t, 1u8);
+        inbox.push(t + Duration::from_secs(60), 2u8);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox.try_pop_due(), Some(1));
+        assert_eq!(inbox.len(), 1, "undue message still counted");
+    }
+
+    #[test]
+    fn wait_space_wakes_promptly_on_drain() {
+        let inbox = std::sync::Arc::new(Inbox::new());
+        let t = Instant::now();
+        inbox.push(t, 0u8);
+        inbox.push(t, 1u8);
+        let waiter = {
+            let inbox = inbox.clone();
+            std::thread::spawn(move || {
+                // Far deadline: only a drain notification can end this early.
+                let ok = inbox.wait_space_until(2, Instant::now() + Duration::from_secs(10));
+                (ok, Instant::now())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(inbox.try_pop_due(), Some(0));
+        let drained_at = Instant::now();
+        let (ok, woke_at) = waiter.join().unwrap();
+        assert!(ok, "space must be observed");
+        assert!(
+            woke_at.saturating_duration_since(drained_at) < Duration::from_secs(5),
+            "waiter should wake on the drain notification, not the deadline"
+        );
     }
 
     #[test]

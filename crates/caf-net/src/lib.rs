@@ -10,6 +10,8 @@
 //!   backpressure (the GASNet flow-control stand-in);
 //! * [`pump`] — the per-image communication engine, inline or offloaded to
 //!   a dedicated communication thread (paper §III-B);
+//! * [`reliable`] — the ack/retry delivery sublayer engaged under fault
+//!   injection: per-link sequence numbers, receiver dedup, backoff timers;
 //! * [`stats`] — traffic counters for benches and ablations.
 
 #![warn(missing_docs)]
@@ -17,6 +19,7 @@
 pub mod fabric;
 pub mod inbox;
 pub mod pump;
+pub mod reliable;
 pub mod stats;
 
 pub use fabric::Fabric;

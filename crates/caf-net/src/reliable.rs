@@ -1,0 +1,142 @@
+//! Reliable ack/retry delivery: the machinery [`Fabric`](crate::Fabric)
+//! switches on when a fault plan is active.
+//!
+//! Design constraints:
+//!
+//! * Payloads are **not `Clone`** (active messages carry `Box<dyn FnOnce>`
+//!   closures), so a retransmission cannot copy the message. Instead every
+//!   reliable send allocates one shared *payload slot*
+//!   (`Arc<Mutex<Option<M>>>`); the original, duplicates, and retransmits
+//!   all point at it, and the first copy to arrive fresh takes the value.
+//!   Later copies are filtered by sequence-number dedup before they would
+//!   touch the (now empty) slot.
+//! * The fabric has **no progress thread**. Retransmission timers are
+//!   pumped lazily from the sending image's own fabric calls (`send`,
+//!   `try_recv`, `recv_until`, `wait_activity`) — the same polling
+//!   discipline GASNet imposes — and park deadlines are clamped to the
+//!   next retry due-time so a blocked sender still retransmits promptly.
+//! * Delivery remains **unordered**: the runtime already tolerates
+//!   non-FIFO channels, so the layer restores *exactly-once* but not
+//!   ordering (no reorder buffer; the dedup tracker just remembers which
+//!   sequence numbers it has seen).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use caf_core::ids::ImageId;
+use parking_lot::Mutex;
+
+/// Simulated size of a protocol acknowledgement, in bytes.
+pub(crate) const ACK_BYTES: usize = 16;
+
+/// The on-the-wire envelope carried by inboxes.
+pub(crate) enum Wire<M> {
+    /// Fast path (fault layer off, or self-send): the bare message.
+    Raw(M),
+    /// Reliable payload transmission. Retransmits and injected duplicates
+    /// share `payload`; whoever arrives fresh takes it.
+    Data {
+        /// Sending image (the ack's destination).
+        from: ImageId,
+        /// Per-(sender, receiver) sequence number.
+        link_seq: u64,
+        /// Shared single-use payload slot.
+        payload: Arc<Mutex<Option<M>>>,
+    },
+    /// Receiver → sender acknowledgement of `link_seq`.
+    Ack {
+        /// Acknowledging image (the data's receiver).
+        from: ImageId,
+        /// Sequence number being acknowledged.
+        link_seq: u64,
+    },
+}
+
+impl<M> Wire<M> {
+    /// Clones protocol envelopes (for injected duplicates). `Raw` is not
+    /// cloneable — raw messages never traverse the fault layer.
+    pub(crate) fn clone_protocol(&self) -> Option<Wire<M>> {
+        match self {
+            Wire::Raw(_) => None,
+            Wire::Data { from, link_seq, payload } => {
+                Some(Wire::Data { from: *from, link_seq: *link_seq, payload: Arc::clone(payload) })
+            }
+            Wire::Ack { from, link_seq } => Some(Wire::Ack { from: *from, link_seq: *link_seq }),
+        }
+    }
+}
+
+/// One unacknowledged reliable transmission, owned by its sender.
+pub(crate) struct Outstanding<M> {
+    pub link_seq: u64,
+    pub payload: Arc<Mutex<Option<M>>>,
+    pub bytes: usize,
+    /// Transmissions so far (1 = the original send).
+    pub attempts: u32,
+    pub next_retry: Instant,
+}
+
+/// Per-sending-image retry state: sequence allocators and outstanding
+/// queues, one slot per destination.
+pub(crate) struct SenderState<M> {
+    pub next_seq: Vec<u64>,
+    pub outstanding: Vec<VecDeque<Outstanding<M>>>,
+}
+
+impl<M> SenderState<M> {
+    pub(crate) fn new(n: usize) -> Self {
+        SenderState { next_seq: vec![0; n], outstanding: (0..n).map(|_| VecDeque::new()).collect() }
+    }
+
+    /// Total unacknowledged messages across all destinations.
+    pub(crate) fn backlog(&self) -> usize {
+        self.outstanding.iter().map(|q| q.len()).sum()
+    }
+
+    /// Earliest pending retransmission deadline, if any.
+    pub(crate) fn next_retry_at(&self) -> Option<Instant> {
+        self.outstanding.iter().flat_map(|q| q.iter().map(|o| o.next_retry)).min()
+    }
+}
+
+pub(crate) use caf_core::fault::SeqTracker;
+
+/// Per-receiving-image dedup state: one tracker per sender.
+pub(crate) struct RecvState {
+    pub trackers: Vec<SeqTracker>,
+}
+
+impl RecvState {
+    pub(crate) fn new(n: usize) -> Self {
+        RecvState { trackers: (0..n).map(|_| SeqTracker::default()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accepts_each_seq_once() {
+        let mut t = SeqTracker::default();
+        assert!(t.note(0));
+        assert!(!t.note(0));
+        assert!(t.note(1));
+        assert!(!t.note(1));
+        assert!(!t.note(0));
+    }
+
+    #[test]
+    fn tracker_handles_out_of_order_and_gaps() {
+        let mut t = SeqTracker::default();
+        assert!(t.note(3));
+        assert!(t.note(1));
+        assert!(!t.note(3), "re-delivery ahead of watermark");
+        assert!(t.note(0));
+        assert!(!t.note(1), "absorbed into watermark by now");
+        assert!(t.note(2));
+        assert!(!t.note(3), "watermark passed it");
+        assert!(t.note(4));
+    }
+}

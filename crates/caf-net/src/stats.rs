@@ -9,6 +9,13 @@ pub struct FabricStats {
     messages: AtomicU64,
     bytes: AtomicU64,
     backpressure_stalls: AtomicU64,
+    delivered: AtomicU64,
+    wire_drops: AtomicU64,
+    wire_dups: AtomicU64,
+    retries: AtomicU64,
+    retries_exhausted: AtomicU64,
+    dups_discarded: AtomicU64,
+    acks: AtomicU64,
 }
 
 impl FabricStats {
@@ -21,7 +28,36 @@ impl FabricStats {
         self.backpressure_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Total messages sent through the fabric.
+    pub(crate) fn note_delivered(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_wire_drop(&self) {
+        self.wire_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_wire_dup(&self) {
+        self.wire_dups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_retry_exhausted(&self) {
+        self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dup_discarded(&self) {
+        self.dups_discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_ack(&self) {
+        self.acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total logical messages sent through the fabric (excludes protocol
+    /// acks and retransmissions).
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
@@ -34,6 +70,42 @@ impl FabricStats {
     /// Total sender stalls caused by inbox backpressure.
     pub fn backpressure_stalls(&self) -> u64 {
         self.backpressure_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Logical messages surfaced to receivers (each exactly once). The
+    /// no-progress watchdog folds this into its progress fingerprint.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Wire transmissions destroyed by fault injection.
+    pub fn wire_drops(&self) -> u64 {
+        self.wire_drops.load(Ordering::Relaxed)
+    }
+
+    /// Wire transmissions duplicated by fault injection.
+    pub fn wire_dups(&self) -> u64 {
+        self.wire_dups.load(Ordering::Relaxed)
+    }
+
+    /// Retransmissions performed by the reliable-delivery layer.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Messages abandoned after the retry budget was exhausted.
+    pub fn retries_exhausted(&self) -> u64 {
+        self.retries_exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate deliveries filtered out by receiver-side dedup.
+    pub fn dups_discarded(&self) -> u64 {
+        self.dups_discarded.load(Ordering::Relaxed)
+    }
+
+    /// Acknowledgements sent by receivers.
+    pub fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
     }
 }
 

@@ -1,10 +1,11 @@
 //! Property tests on the fabric: reliability (no loss, no duplication),
-//! FIFO behaviour when reordering is off, and bounded reordering when on.
+//! FIFO behaviour when reordering is off, bounded reordering when on, and
+//! exactly-once delivery under randomized fault schedules.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use caf_core::config::NetworkModel;
+use caf_core::config::{FaultPlan, NetworkModel, RetryPolicy};
 use caf_core::ids::ImageId;
 use caf_net::Fabric;
 use proptest::prelude::*;
@@ -86,5 +87,73 @@ proptest! {
         got.sort_unstable();
         got.dedup();
         prop_assert_eq!(got.len(), 3 * per_sender, "duplicate or lost message");
+    }
+}
+
+proptest! {
+    // Each case runs a full ack/retry convergence loop; keep the count
+    // modest so the suite stays fast under load.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A randomized fault schedule — drops, duplicates, delay spikes,
+    /// non-FIFO reordering, and a receiver stall window — must be
+    /// invisible to the payload stream: every message surfaces at the
+    /// receiver exactly once, however the wire misbehaves.
+    #[test]
+    fn chaos_schedule_is_exactly_once(
+        seed in any::<u64>(),
+        drop_pct in 0u32..25,
+        dup_pct in 0u32..25,
+        spike_pct in 0u32..15,
+        non_fifo in any::<bool>(),
+        stall in any::<bool>(),
+        sends in prop::collection::vec((0usize..3, 0usize..256), 1..60),
+    ) {
+        let mut plan = FaultPlan::uniform_drop(seed, drop_pct as f64 / 100.0)
+            .with_dup(dup_pct as f64 / 100.0)
+            .with_spikes(spike_pct as f64 / 100.0, Duration::from_micros(200));
+        if stall {
+            plan = plan.with_stall(3, Duration::ZERO, Duration::from_millis(5));
+        }
+        // A generous budget horizon: only a (vanishingly unlikely) run of
+        // 13 consecutive drops of one message can lose it.
+        let retry = RetryPolicy {
+            ack_timeout: Duration::from_millis(1),
+            backoff: 2,
+            max_timeout: Duration::from_millis(20),
+            max_retries: 12,
+        };
+        let model = NetworkModel {
+            latency: Duration::from_micros(50),
+            inbox_capacity: None,
+            ..NetworkModel::instant()
+        };
+        let f: Arc<Fabric<u64>> = Fabric::with_faults(4, model, non_fifo, plan, retry);
+        for (i, &(from, bytes)) in sends.iter().enumerate() {
+            f.send(ImageId(from), ImageId(3), bytes, i as u64);
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut got = Vec::with_capacity(sends.len());
+        while got.len() < sends.len() {
+            prop_assert!(
+                Instant::now() < deadline,
+                "lost messages: {} of {}", got.len(), sends.len()
+            );
+            if let Some(v) = f.recv_until(ImageId(3), Instant::now() + Duration::from_millis(1)) {
+                got.push(v);
+            }
+            // Senders must poll their own inboxes: acks land there, and
+            // polling pumps their retransmission timers.
+            for s in 0..3 {
+                while f.try_recv(ImageId(s)).is_some() {}
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..sends.len() as u64).collect::<Vec<_>>());
+        prop_assert_eq!(f.stats().delivered(), sends.len() as u64, "double count");
+        // Nothing further may ever surface: late duplicates and
+        // retransmits are filtered by sequence dedup, and a payload slot
+        // is single-use even in principle.
+        prop_assert_eq!(f.try_recv(ImageId(3)), None);
     }
 }

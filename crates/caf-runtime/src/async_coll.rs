@@ -101,9 +101,8 @@ impl Image {
                     actions.push((Stage::LocalOp, Arc::clone(&reg.completion), reg.local_event));
                 }
             }
-            let reclaimable = inst.fired_data
-                && inst.fired_op
-                && (inst.red_result.is_none() || inst.red_taken);
+            let reclaimable =
+                inst.fired_data && inst.fired_op && (inst.red_result.is_none() || inst.red_taken);
             if reclaimable {
                 st.async_inst.remove(&key);
             }
@@ -292,6 +291,7 @@ impl Image {
 /// Participant-side delivery of one asynchronous-broadcast hop: write the
 /// segment, acknowledge the parent (its pair-wise communication with us is
 /// complete), forward to our subtree, and record arrival.
+#[allow(clippy::too_many_arguments)]
 fn bcast_deliver<T: Clone + Send + 'static>(
     img: &Image,
     team: Team,
@@ -304,13 +304,7 @@ fn bcast_deliver<T: Clone + Send + 'static>(
 ) {
     let key = (team.id(), seq);
     coarray.write(img.id(), range.start, &data);
-    img.send_am(
-        parent,
-        0,
-        false,
-        None,
-        Box::new(move |p: &Image| p.async_child_ack(key)),
-    );
+    img.send_am(parent, 0, false, None, Box::new(move |p: &Image| p.async_child_ack(key)));
     let my_rank = team.rank_of(img.id()).expect("broadcast member");
     let tree = BinomialTree::new(team.size(), root);
     let children = tree.children(my_rank);
@@ -322,7 +316,8 @@ fn bcast_deliver<T: Clone + Send + 'static>(
     let nbytes = data.len() * std::mem::size_of::<T>();
     for child in children {
         let target = team.image_of(child);
-        let (team2, co2, range2, data2) = (team.clone(), coarray.clone(), range.clone(), data.clone());
+        let (team2, co2, range2, data2) =
+            (team.clone(), coarray.clone(), range.clone(), data.clone());
         img.send_am(
             target,
             nbytes,

@@ -234,12 +234,7 @@ impl Image {
 
     /// Scatters `values[k]` (supplied at `root`) to team rank `k`
     /// (`team_scatter`).
-    pub fn scatter<T: Any + Send>(
-        &self,
-        team: &Team,
-        root: TeamRank,
-        values: Option<Vec<T>>,
-    ) -> T {
+    pub fn scatter<T: Any + Send>(&self, team: &Team, root: TeamRank, values: Option<Vec<T>>) -> T {
         let seq = self.next_coll_seq(team);
         let rank = self.my_rank(team);
         if rank == root {
@@ -338,8 +333,7 @@ impl Image {
                 }
             })
             .collect();
-        let mut all_samples: Vec<T> =
-            self.allgather(team, samples).into_iter().flatten().collect();
+        let mut all_samples: Vec<T> = self.allgather(team, samples).into_iter().flatten().collect();
         all_samples.sort();
         // n−1 splitters by regular selection from the gathered samples.
         let splitters: Vec<T> = (1..n)

@@ -343,7 +343,9 @@ impl Image {
         });
         self.send_am(src_owner, REQ_BYTES, false, None, request);
         self.wait_until(|| comp.reached(Stage::LocalOp));
-        Arc::try_unwrap(out).map(|m| m.into_inner()).unwrap_or_else(|a| a.lock().clone())
+        Arc::try_unwrap(out)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|a| a.lock().clone())
     }
 
     /// Blocking one-sided write of `data` into a coarray slice (waits for

@@ -18,12 +18,13 @@ use caf_core::termination::{EpochDetector, WaveDetector};
 use caf_core::topology::Team;
 use caf_net::CommPump;
 
-use crate::completion::{Completion, Stage};
 use crate::coarray::Coarray;
+use crate::completion::{Completion, Stage};
 use crate::event::{CoEvent, Event};
 use crate::msg::{Am, AmFn, FinishTag, Msg};
 use crate::runtime::Shared;
 use crate::state::{FinishFrame, ImageState, PendingOp};
+use crate::watchdog::{FinishDiag, ImageStallReport, StallUnwind, Watchdog};
 
 /// Nominal wire size of a shipped-function header (descriptor + closure
 /// environment lower bound) for the cost model.
@@ -96,14 +97,81 @@ impl Image {
         any
     }
 
-    /// Polls progress until `pred` holds, parking between polls.
+    /// Polls progress until `pred` holds, parking between polls. Under a
+    /// configured watchdog each park iteration also files a progress
+    /// observation; a declared stall aborts the wait (and the image).
     pub(crate) fn wait_until(&self, mut pred: impl FnMut() -> bool) {
+        let wd = self.shared.watchdog.as_ref();
+        let _blocked = wd.map(|w| w.enter_wait());
         loop {
             self.progress();
             if pred() {
                 return;
             }
+            if let Some(w) = wd {
+                self.check_watchdog(w);
+            }
             self.shared.fabric.wait_activity(self.me, Instant::now() + MAX_PARK);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // No-progress watchdog
+    // ------------------------------------------------------------------
+
+    /// Global progress fingerprint: any logical send, exactly-once
+    /// delivery, retransmission, or retry-budget exhaustion moves it.
+    /// Retries count as progress, so the watchdog's window cannot elapse
+    /// while the reliable-delivery layer is still spending its budget.
+    fn progress_fingerprint(&self) -> u64 {
+        let s = self.shared.fabric.stats();
+        s.messages() + s.delivered() + s.retries() + s.retries_exhausted()
+    }
+
+    /// Files a progress observation; if the runtime is stalled (declared
+    /// by this image just now or by a peer), dumps this image's
+    /// diagnostics and unwinds its thread.
+    fn check_watchdog(&self, wd: &Watchdog) {
+        if !wd.observe(self.progress_fingerprint()) {
+            return;
+        }
+        // Halt first: flow control stops parking senders, so the comm
+        // thread (joined when `self.pump` drops during unwind) and peer
+        // images blocked in sends all become runnable.
+        self.shared.fabric.halt();
+        wd.contribute(self.stall_report());
+        for i in 0..self.shared.n {
+            self.shared.fabric.poke(ImageId(i));
+        }
+        std::panic::resume_unwind(Box::new(StallUnwind));
+    }
+
+    /// Snapshot of this image's runtime state for the stall diagnostic.
+    fn stall_report(&self) -> ImageStallReport {
+        let st = self.st.borrow();
+        let mut finishes: Vec<FinishDiag> = st
+            .finish_frames
+            .iter()
+            .map(|(fid, frame)| {
+                let even = frame.detector.epochs().counters(Parity::Even);
+                let odd = frame.detector.epochs().counters(Parity::Odd);
+                FinishDiag {
+                    finish: *fid,
+                    sent: even.sent + odd.sent,
+                    delivered: even.delivered + odd.delivered,
+                    received: even.received + odd.received,
+                    completed: even.completed + odd.completed,
+                    waves: frame.detector.waves(),
+                }
+            })
+            .collect();
+        finishes.sort_by_key(|d| d.finish);
+        ImageStallReport {
+            image: self.me.index(),
+            inbox_depth: self.shared.fabric.inbox_depth(self.me),
+            retry_backlog: self.shared.fabric.retry_backlog(self.me),
+            pending_ops: st.pending_scopes.iter().map(Vec::len).sum(),
+            finishes,
         }
     }
 
@@ -129,7 +197,12 @@ impl Image {
         // `delivered` counter in the finish detector).
         if let Some(tag) = am.finish {
             self.with_frame(tag.id, |f| f.on_receive(tag.parity));
-            self.shared.fabric.send_unthrottled(self.me, am.sender, CTRL_BYTES, Msg::Ack { finish: tag.id });
+            self.shared.fabric.send_unthrottled(
+                self.me,
+                am.sender,
+                CTRL_BYTES,
+                Msg::Ack { finish: tag.id },
+            );
         }
         {
             let mut st = self.st.borrow_mut();
@@ -163,7 +236,11 @@ impl Image {
 
     /// Runs `f` on the finish frame for `fid`, creating it if this is the
     /// first time this image hears of that block.
-    pub(crate) fn with_frame<R>(&self, fid: FinishId, f: impl FnOnce(&mut EpochDetector) -> R) -> R {
+    pub(crate) fn with_frame<R>(
+        &self,
+        fid: FinishId,
+        f: impl FnOnce(&mut EpochDetector) -> R,
+    ) -> R {
         let mut st = self.st.borrow_mut();
         let wq = self.shared.cfg.finish_wait_quiescence;
         let frame = st
@@ -183,6 +260,7 @@ impl Image {
 
     /// Sends an active message carrying an already-counted finish tag.
     /// Callable from communication threads (takes no image state).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn send_prepared_am(
         shared: &Shared,
         from: ImageId,
@@ -216,17 +294,20 @@ impl Image {
         func: AmFn,
     ) {
         let tag = self.am_tag();
-        let mut msg =
-            Msg::Am(Am { func, sender: self.me, finish: tag, completion_event, user });
+        let mut msg = Msg::Am(Am { func, sender: self.me, finish: tag, completion_event, user });
+        let wd = self.shared.watchdog.as_ref();
+        let mut blocked = None;
         loop {
             match self.shared.fabric.try_send(self.me, target, payload_bytes, msg) {
                 Ok(()) => return,
                 Err(back) => {
                     msg = back;
+                    if let Some(w) = wd {
+                        blocked.get_or_insert_with(|| w.enter_wait());
+                        self.check_watchdog(w);
+                    }
                     if !self.progress() {
-                        self.shared
-                            .fabric
-                            .wait_activity(self.me, Instant::now() + MAX_PARK);
+                        self.shared.fabric.wait_activity(self.me, Instant::now() + MAX_PARK);
                     }
                 }
             }
@@ -270,7 +351,12 @@ impl Image {
     /// Ships `f` to `target` with explicit completion: `ev` is notified
     /// when the shipped function finishes executing there —
     /// `spawn(e) f(...)[target]`.
-    pub fn spawn_notify(&self, target: ImageId, ev: Event, f: impl FnOnce(&Image) + Send + 'static) {
+    pub fn spawn_notify(
+        &self,
+        target: ImageId,
+        ev: Event,
+        f: impl FnOnce(&Image) + Send + 'static,
+    ) {
         self.send_am(target, SPAWN_NOMINAL_BYTES, true, Some(ev.id), Box::new(f));
     }
 
@@ -340,9 +426,9 @@ impl Image {
     ) -> Coarray<T> {
         let seq = ImageState::bump(&mut self.st.borrow_mut().alloc_seq, team.id());
         let mut allocs = self.shared.allocs.lock();
-        let entry = allocs.entry((team.id(), seq)).or_insert_with(|| {
-            Box::new(Coarray::allocate(team.members().to_vec(), len, init))
-        });
+        let entry = allocs
+            .entry((team.id(), seq))
+            .or_insert_with(|| Box::new(Coarray::allocate(team.members().to_vec(), len, init)));
         entry
             .downcast_ref::<Coarray<T>>()
             .expect("collective allocation type mismatch across images")
@@ -392,6 +478,17 @@ impl Image {
         let world = self.world();
         self.barrier(&world);
         self.progress();
+        // Reliable delivery: an image must not retire while it still owns
+        // unacknowledged messages — its retransmission timers are pumped
+        // only by its own runtime calls, so a wire drop after this point
+        // would become a permanent loss and strand the receiver (e.g. a
+        // dropped barrier-release hop whose sender has already returned).
+        // The backlog empties on acknowledgement or, if the receiver has
+        // itself retired, on retry-budget exhaustion — either way the
+        // loop is bounded.
+        if self.shared.fabric.faults_active() {
+            self.wait_until(|| self.shared.fabric.retry_backlog(self.me) == 0);
+        }
     }
 }
 
@@ -403,7 +500,11 @@ pub(crate) fn notify_event_from(shared: &Shared, from: ImageId, id: EventId) {
         shared.event_tables[from.index()].cell(id.slot).notify();
         shared.fabric.poke(from);
     } else {
-        shared.fabric.send_unthrottled(from, id.owner, CTRL_BYTES, Msg::EventNotify { slot: id.slot });
+        shared.fabric.send_unthrottled(
+            from,
+            id.owner,
+            CTRL_BYTES,
+            Msg::EventNotify { slot: id.slot },
+        );
     }
 }
-

@@ -46,10 +46,12 @@ pub mod image;
 pub mod msg;
 mod runtime;
 mod state;
+pub mod watchdog;
 
 pub use async_coll::{AsyncCollEvents, AsyncScalar};
 pub use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
 pub use caf_core::config::{CommMode, NetworkModel, RuntimeConfig};
+pub use caf_core::fault::{FaultPlan, RetryPolicy, StallWindow};
 pub use caf_core::ids::{EventId, ImageId, TeamRank};
 pub use caf_core::topology::Team;
 pub use coarray::{CoSlice, Coarray, LocalArray};
@@ -58,3 +60,4 @@ pub use copy::{AsyncOp, CopyEvents};
 pub use event::{CoEvent, Event};
 pub use image::Image;
 pub use runtime::Runtime;
+pub use watchdog::{FinishDiag, ImageStallReport, RuntimeError, StallReport};

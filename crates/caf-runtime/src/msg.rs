@@ -113,9 +113,7 @@ impl std::fmt::Debug for Msg {
                 .field("user", &am.user)
                 .finish_non_exhaustive(),
             Msg::Ack { finish } => f.debug_struct("Ack").field("finish", finish).finish(),
-            Msg::EventNotify { slot } => {
-                f.debug_struct("EventNotify").field("slot", slot).finish()
-            }
+            Msg::EventNotify { slot } => f.debug_struct("EventNotify").field("slot", slot).finish(),
             Msg::Coll(c) => f.debug_struct("Coll").field("key", &c.key).finish_non_exhaustive(),
             Msg::Complete { stage, .. } => {
                 f.debug_struct("Complete").field("stage", stage).finish_non_exhaustive()

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use crate::event::EventTable;
 use crate::image::Image;
 use crate::msg::Msg;
+use crate::watchdog::{RuntimeError, StallReport, StallUnwind, Watchdog};
 
 /// State shared by every image (and their communication threads).
 pub(crate) struct Shared {
@@ -36,6 +37,8 @@ pub(crate) struct Shared {
     pub team_ids: Mutex<HashMap<(TeamId, u64, u64), TeamId>>,
     /// Next fresh team id (0 is `team_world`).
     pub next_team: AtomicU64,
+    /// The no-progress watchdog, when `cfg.watchdog` configures one.
+    pub watchdog: Option<Watchdog>,
 }
 
 /// Entry point for the threaded CAF 2.0 runtime.
@@ -51,8 +54,30 @@ impl Runtime {
     /// reference; images communicate only through the runtime.
     ///
     /// # Panics
-    /// Panics if `n == 0` or any image panics.
+    /// Panics if `n == 0`, any image panics, or the no-progress watchdog
+    /// declares a stall (use [`Runtime::try_launch`] to handle stalls as
+    /// values).
     pub fn launch<R, F>(n: usize, cfg: RuntimeConfig, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Image) -> R + Send + Sync,
+    {
+        match Runtime::try_launch(n, cfg, f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Runtime::launch`], but a stall detected by the configured
+    /// no-progress watchdog (`cfg.watchdog`) comes back as
+    /// [`RuntimeError::Stalled`] carrying the full diagnostic dump instead
+    /// of a panic. Without a watchdog this never returns `Err` (a genuine
+    /// hang stays a hang — there is nothing watching).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or any image panics for a reason other than a
+    /// declared stall.
+    pub fn try_launch<R, F>(n: usize, cfg: RuntimeConfig, f: F) -> Result<Vec<R>, RuntimeError>
     where
         R: Send,
         F: Fn(&Image) -> R + Send + Sync,
@@ -69,16 +94,25 @@ impl Runtime {
             "CommMode::Inline requires inbox_capacity: None (see CommMode docs); \
              use CommMode::DedicatedThread with bounded inboxes"
         );
+        // A fault plan routes all traffic through the ack/retry sublayer;
+        // otherwise the wire is lossless and the fabric stays raw.
+        let fabric = match cfg.faults.clone() {
+            Some(plan) => {
+                Fabric::with_faults(n, cfg.network.clone(), cfg.non_fifo, plan, cfg.retry.clone())
+            }
+            None => Fabric::new(n, cfg.network.clone(), cfg.non_fifo),
+        };
         let shared = Arc::new(Shared {
-            fabric: Fabric::new(n, cfg.network.clone(), cfg.non_fifo),
+            fabric,
             n,
             event_tables: (0..n).map(|_| EventTable::default()).collect(),
             allocs: Mutex::new(HashMap::new()),
             team_ids: Mutex::new(HashMap::new()),
             next_team: AtomicU64::new(1),
+            watchdog: cfg.watchdog.map(|window| Watchdog::new(window, n)),
             cfg,
         });
-        std::thread::scope(|scope| {
+        let joined: Vec<Result<R, Box<dyn Any + Send>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n)
                 .map(|i| {
                     let shared = Arc::clone(&shared);
@@ -86,7 +120,8 @@ impl Runtime {
                     std::thread::Builder::new()
                         .name(format!("caf-img-{i}"))
                         .spawn_scoped(scope, move || {
-                            let img = Image::new(shared, ImageId(i));
+                            let _live = shared.watchdog.as_ref().map(|w| w.live_guard());
+                            let img = Image::new(Arc::clone(&shared), ImageId(i));
                             let r = f(&img);
                             img.shutdown();
                             r
@@ -94,11 +129,34 @@ impl Runtime {
                         .expect("spawning image thread")
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("image thread panicked"))
-                .collect()
-        })
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        let mut stalled = false;
+        for r in joined {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) if payload.is::<StallUnwind>() => stalled = true,
+                // A genuine panic (assertion failure, user bug) outranks a
+                // stall: peers unwound via StallUnwind only because the
+                // panicking image stopped participating.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        if stalled {
+            let wd = shared.watchdog.as_ref().expect("stall unwind without a watchdog");
+            let stats = shared.fabric.stats();
+            return Err(RuntimeError::Stalled(StallReport {
+                window: wd.window(),
+                images: wd.take_reports(),
+                messages: stats.messages(),
+                delivered: stats.delivered(),
+                retries: stats.retries(),
+                retries_exhausted: stats.retries_exhausted(),
+                wire_drops: stats.wire_drops(),
+            }));
+        }
+        Ok(out)
     }
 }
 

@@ -1,0 +1,331 @@
+//! The no-progress watchdog: turns silent hangs into diagnostics.
+//!
+//! Under fault injection a `finish` block can stop making progress — a
+//! message abandoned past its retry budget leaves the termination
+//! detector's `sent − completed` sum permanently non-zero, and every image
+//! parks in its progress loop forever. Without help that is an
+//! undebuggable hang. The watchdog watches a *global progress
+//! fingerprint* (messages injected + messages delivered + retransmissions
+//! attempted); when every image is simultaneously blocked in a runtime
+//! wait and the fingerprint has not moved for the configured window, the
+//! first image to notice declares a stall, every image contributes a
+//! structured per-image report (finish epoch counters, inbox depth, retry
+//! backlog, pending operations), and the launch returns
+//! [`RuntimeError::Stalled`] instead of hanging.
+//!
+//! Because retransmissions count as progress, the watchdog cannot fire
+//! while the reliable-delivery layer is still inside its retry budget —
+//! the stall window starts counting only after the last timer gives up.
+//! Configure the window longer than any [`StallWindow`] straggler pause
+//! (a stalled image defers traffic, which is indistinguishable from no
+//! progress until the window closes).
+//!
+//! [`StallWindow`]: caf_core::fault::StallWindow
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use caf_core::ids::FinishId;
+use parking_lot::Mutex;
+
+/// Panic payload used to unwind image threads after a stall is declared.
+/// Delivered via `resume_unwind` so the global panic hook stays silent —
+/// the stall is reported once, as a [`RuntimeError`], not once per thread.
+pub(crate) struct StallUnwind;
+
+/// Snapshot of one `finish` block's termination detector at stall time.
+/// Counters are cumulative over both epoch parities.
+#[derive(Debug, Clone)]
+pub struct FinishDiag {
+    /// Which finish block.
+    pub finish: FinishId,
+    /// Messages this image sent under the block.
+    pub sent: u64,
+    /// Of those, acknowledged as delivered.
+    pub delivered: u64,
+    /// Messages this image received under the block.
+    pub received: u64,
+    /// Of those, completed executing locally.
+    pub completed: u64,
+    /// Reduction waves the detector has run.
+    pub waves: usize,
+}
+
+/// One image's contribution to a stall report.
+#[derive(Debug, Clone)]
+pub struct ImageStallReport {
+    /// Image rank.
+    pub image: usize,
+    /// Undelivered messages queued at this image's inbox.
+    pub inbox_depth: usize,
+    /// Unacknowledged reliable messages this image owns as a sender.
+    pub retry_backlog: usize,
+    /// Implicit asynchronous operations still tracked for `cofence`.
+    pub pending_ops: usize,
+    /// Per-finish detector snapshots (every block this image has touched).
+    pub finishes: Vec<FinishDiag>,
+}
+
+/// The structured diagnostic produced when the runtime stalls.
+#[derive(Debug, Clone)]
+pub struct StallReport {
+    /// The configured no-progress window that elapsed.
+    pub window: Duration,
+    /// Per-image diagnostics, sorted by rank. Images that had already
+    /// returned from the SPMD closure when the stall was declared are
+    /// absent.
+    pub images: Vec<ImageStallReport>,
+    /// Fabric totals: logical messages sent.
+    pub messages: u64,
+    /// Fabric totals: messages delivered exactly-once to receivers.
+    pub delivered: u64,
+    /// Fabric totals: retransmissions attempted.
+    pub retries: u64,
+    /// Fabric totals: messages abandoned past the retry budget.
+    pub retries_exhausted: u64,
+    /// Fabric totals: wire messages destroyed by fault injection.
+    pub wire_drops: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "no progress for {:?}: fabric sent {} / delivered {} (retries {}, \
+             exhausted {}, wire drops {})",
+            self.window,
+            self.messages,
+            self.delivered,
+            self.retries,
+            self.retries_exhausted,
+            self.wire_drops
+        )?;
+        for img in &self.images {
+            writeln!(
+                f,
+                "  image {}: inbox {} deep, retry backlog {}, {} pending op(s)",
+                img.image, img.inbox_depth, img.retry_backlog, img.pending_ops
+            )?;
+            for d in &img.finishes {
+                writeln!(
+                    f,
+                    "    {}: sent {} delivered {} received {} completed {} ({} waves)",
+                    d.finish, d.sent, d.delivered, d.received, d.completed, d.waves
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors a launch can end in instead of a result.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The no-progress watchdog fired: no image made progress for the
+    /// configured window. Carries the full diagnostic dump.
+    Stalled(StallReport),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Stalled(report) => {
+                write!(f, "runtime stalled — {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct Observation {
+    fingerprint: u64,
+    since: Instant,
+}
+
+/// Shared watchdog state. Detection is cooperative: there is no watchdog
+/// thread; blocked images observe on every park-loop iteration.
+pub(crate) struct Watchdog {
+    window: Duration,
+    /// Image threads still running (a panicking image stops counting, so
+    /// the survivors — all blocked on the dead peer — can still stall
+    /// out instead of waiting forever).
+    active: AtomicUsize,
+    /// Images currently inside a blocking runtime wait.
+    waiting: AtomicUsize,
+    /// Latched once a stall has been declared.
+    stalled: AtomicBool,
+    obs: Mutex<Observation>,
+    reports: Mutex<Vec<ImageStallReport>>,
+}
+
+impl Watchdog {
+    pub(crate) fn new(window: Duration, n: usize) -> Self {
+        Watchdog {
+            window,
+            active: AtomicUsize::new(n),
+            waiting: AtomicUsize::new(0),
+            stalled: AtomicBool::new(false),
+            obs: Mutex::new(Observation { fingerprint: 0, since: Instant::now() }),
+            reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Marks the calling image as blocked for the guard's lifetime.
+    pub(crate) fn enter_wait(&self) -> WaitGuard<'_> {
+        self.waiting.fetch_add(1, Ordering::AcqRel);
+        WaitGuard { wd: self }
+    }
+
+    /// Held by each image thread for its whole run; dropping it (return
+    /// *or* unwind) removes the image from the all-blocked quorum.
+    pub(crate) fn live_guard(&self) -> LiveGuard<'_> {
+        LiveGuard { wd: self }
+    }
+
+    /// Records a progress observation; returns whether the runtime is
+    /// (now) stalled. A stall is declared only when every *live* image is
+    /// blocked and the fingerprint has been flat for the full window.
+    pub(crate) fn observe(&self, fingerprint: u64) -> bool {
+        if self.stalled.load(Ordering::Acquire) {
+            return true;
+        }
+        let now = Instant::now();
+        let mut obs = self.obs.lock();
+        if fingerprint != obs.fingerprint
+            || self.waiting.load(Ordering::Acquire) < self.active.load(Ordering::Acquire)
+        {
+            obs.fingerprint = fingerprint;
+            obs.since = now;
+            return false;
+        }
+        if now.duration_since(obs.since) >= self.window {
+            self.stalled.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds one image's diagnostics to the eventual report.
+    pub(crate) fn contribute(&self, report: ImageStallReport) {
+        self.reports.lock().push(report);
+    }
+
+    /// Collects the contributed per-image reports, sorted by rank.
+    pub(crate) fn take_reports(&self) -> Vec<ImageStallReport> {
+        let mut reports = std::mem::take(&mut *self.reports.lock());
+        reports.sort_by_key(|r| r.image);
+        reports
+    }
+}
+
+pub(crate) struct WaitGuard<'a> {
+    wd: &'a Watchdog,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.wd.waiting.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+pub(crate) struct LiveGuard<'a> {
+    wd: &'a Watchdog,
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.wd.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_needs_all_images_waiting_and_flat_fingerprint() {
+        let wd = Watchdog::new(Duration::from_millis(10), 2);
+        let _g0 = wd.enter_wait();
+        // Only one of two images waiting: never stalls.
+        assert!(!wd.observe(1));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(!wd.observe(1));
+        // Second image joins; flat fingerprint now ages toward the window.
+        let _g1 = wd.enter_wait();
+        assert!(!wd.observe(1), "window restarts from the waiting transition");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(wd.observe(1));
+        assert!(wd.observe(999), "stall latches regardless of later movement");
+    }
+
+    #[test]
+    fn fingerprint_movement_resets_the_window() {
+        let wd = Watchdog::new(Duration::from_millis(20), 1);
+        let _g = wd.enter_wait();
+        assert!(!wd.observe(1));
+        std::thread::sleep(Duration::from_millis(12));
+        assert!(!wd.observe(2), "progress happened");
+        std::thread::sleep(Duration::from_millis(12));
+        assert!(!wd.observe(2), "window measured from the last movement");
+        std::thread::sleep(Duration::from_millis(12));
+        assert!(wd.observe(2));
+    }
+
+    #[test]
+    fn wait_guard_is_balanced() {
+        let wd = Watchdog::new(Duration::from_millis(5), 1);
+        {
+            let _g = wd.enter_wait();
+            assert_eq!(wd.waiting.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(wd.waiting.load(Ordering::Relaxed), 0);
+        // Nobody waiting: no stall even after the window.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!wd.observe(7));
+    }
+
+    #[test]
+    fn report_renders_every_layer() {
+        let report = StallReport {
+            window: Duration::from_millis(100),
+            images: vec![ImageStallReport {
+                image: 0,
+                inbox_depth: 3,
+                retry_backlog: 2,
+                pending_ops: 1,
+                finishes: vec![FinishDiag {
+                    finish: FinishId { team: caf_core::ids::TeamId(0), seq: 1 },
+                    sent: 5,
+                    delivered: 4,
+                    received: 2,
+                    completed: 2,
+                    waves: 7,
+                }],
+            }],
+            messages: 10,
+            delivered: 9,
+            retries: 12,
+            retries_exhausted: 1,
+            wire_drops: 6,
+        };
+        let text = RuntimeError::Stalled(report).to_string();
+        for needle in [
+            "no progress",
+            "image 0",
+            "inbox 3",
+            "retry backlog 2",
+            "sent 5",
+            "7 waves",
+            "exhausted 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -146,7 +146,12 @@ proptest! {
     }
 }
 
-fn spawn_chain(img: &caf_runtime::Image, target: usize, left: usize, hits: caf_runtime::Coarray<u64>) {
+fn spawn_chain(
+    img: &caf_runtime::Image,
+    target: usize,
+    left: usize,
+    hits: caf_runtime::Coarray<u64>,
+) {
     if left == 0 {
         return;
     }

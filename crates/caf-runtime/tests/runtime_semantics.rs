@@ -15,19 +15,13 @@ fn cfg_fast() -> RuntimeConfig {
 }
 
 fn cfg_threaded() -> RuntimeConfig {
-    RuntimeConfig {
-        comm_mode: CommMode::DedicatedThread,
-        ..RuntimeConfig::testing()
-    }
+    RuntimeConfig { comm_mode: CommMode::DedicatedThread, ..RuntimeConfig::testing() }
 }
 
 fn cfg_latency() -> RuntimeConfig {
     RuntimeConfig {
         comm_mode: CommMode::DedicatedThread,
-        network: NetworkModel {
-            latency: Duration::from_micros(300),
-            ..NetworkModel::instant()
-        },
+        network: NetworkModel { latency: Duration::from_micros(300), ..NetworkModel::instant() },
         non_fifo: true,
         ..RuntimeConfig::default()
     }
@@ -90,7 +84,9 @@ fn copy_local_to_remote_delivers() {
             let w = img.world();
             let a = img.coarray(&w, 8, 0u64);
             if img.id().index() == 0 {
-                a.with_local(img.id(), |seg| seg.iter_mut().enumerate().for_each(|(i, v)| *v = i as u64 + 1));
+                a.with_local(img.id(), |seg| {
+                    seg.iter_mut().enumerate().for_each(|(i, v)| *v = i as u64 + 1)
+                });
                 let ce = img.coevent();
                 let dst = img.image(1);
                 img.copy_async(
@@ -287,7 +283,8 @@ fn collectives_compute_correct_values() {
             assert_eq!(img.allgather(&w, me * 2), (0..n).map(|k| k * 2).collect::<Vec<_>>());
 
             // scatter
-            let mine = img.scatter(&w, TeamRank(0), (me == 0).then(|| (0..n).map(|k| k * 3).collect()));
+            let mine =
+                img.scatter(&w, TeamRank(0), (me == 0).then(|| (0..n).map(|k| k * 3).collect()));
             assert_eq!(mine, me * 3);
 
             // alltoall: send (me, k) to k; receive (k, me).
@@ -310,8 +307,9 @@ fn sample_sort_globally_orders() {
     let runs = Runtime::launch(n, cfg_fast(), |img| {
         let w = img.world();
         // Deterministic pseudo-random local data, distinct across images.
-        let mine: Vec<u64> =
-            (0..50).map(|i| caf_core::rng::splitmix64_hash((img.id().index() * 1000 + i) as u64) % 1000).collect();
+        let mine: Vec<u64> = (0..50)
+            .map(|i| caf_core::rng::splitmix64_hash((img.id().index() * 1000 + i) as u64) % 1000)
+            .collect();
         let run = img.sort(&w, mine);
         assert!(run.windows(2).all(|p| p[0] <= p[1]), "local run sorted");
         run
@@ -598,6 +596,10 @@ fn broadcast_async_rounds_back_to_back() {
                 img.broadcast_async(&w, &a, 0..1, TeamRank(0), AsyncCollEvents::none());
             });
             assert_eq!(a.read(img.id(), 0..1), vec![round * 7], "round {round}");
+            // A fast root may start the next round's broadcast (which
+            // overwrites the slot) before a slow image performs the read
+            // above; hold everyone here until all reads are done.
+            img.barrier(&w);
         }
     });
 }

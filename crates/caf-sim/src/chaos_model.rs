@@ -1,0 +1,415 @@
+//! Paper-scale chaos runs: the fault model executed in virtual time.
+//!
+//! The threaded runtime can only chaos-test a handful of images; this
+//! model replays the *same* protocol stack — [`FaultPlan`] fault rolls,
+//! ack/retry reliable delivery with [`SeqTracker`] dedup, and the strict
+//! epoch termination detector via [`FinishSim`] — as discrete events, so
+//! the exactly-once and never-terminate-early properties can be checked
+//! at the paper's 4K+ image counts in milliseconds.
+//!
+//! One `finish` block is simulated: every image issues its spawns, the
+//! wire drops/duplicates/delays them per the plan, the reliable layer
+//! acks and retransmits within its budget, and waves run until the
+//! detector's consistent cut is clean. A plan that defeats the retry
+//! budget leaves the detector permanently unready, the event queue
+//! drains, and the run reports [`ChaosOutcome::Stalled`] — the virtual
+//! twin of the runtime watchdog's `RuntimeError::Stalled`.
+
+use std::collections::HashMap;
+
+use caf_core::fault::{FaultPlan, RetryPolicy, SeqTracker};
+use caf_core::ids::Parity;
+use caf_core::rng::SplitMix64;
+use caf_core::termination::WaveDecision;
+use caf_des::{ChaosWire, Engine, SimNet};
+
+use crate::finish_sim::FinishSim;
+
+/// Simulated size of a protocol acknowledgement (mirrors `caf-net`).
+const ACK_BYTES: usize = 16;
+
+/// Parameters of one simulated chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosSimConfig {
+    /// Team size (the interesting regime is 4K+).
+    pub images: usize,
+    /// Spawns issued per image inside the `finish` block.
+    pub msgs_per_image: usize,
+    /// Payload bytes per spawn.
+    pub bytes: usize,
+    /// Execution cost of a spawn's handler at the target.
+    pub work_ns: u64,
+    /// Interconnect model (jitter makes delivery non-FIFO).
+    pub net: SimNet,
+    /// The fault schedule; its seed also drives network jitter.
+    pub plan: FaultPlan,
+    /// Ack/retransmit policy answering the plan.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosSimConfig {
+    /// Defaults: 2 spawns per image, 64-byte payloads, a jittery
+    /// (non-FIFO) Gemini-class network, no faults.
+    pub fn new(images: usize) -> Self {
+        ChaosSimConfig {
+            images,
+            msgs_per_image: 2,
+            bytes: 64,
+            work_ns: 500,
+            net: SimNet::from_model(&caf_core::config::NetworkModel::gemini_like(), true),
+            plan: FaultPlan::none(0x5EED),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// How the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The detector terminated the `finish` — every spawn was delivered
+    /// exactly once and acknowledged.
+    Terminated {
+        /// Virtual time of termination.
+        sim_ns: u64,
+        /// Reduction waves needed.
+        waves: usize,
+    },
+    /// The retry budget was exhausted somewhere; the detector can never
+    /// become ready and the event queue drained without termination.
+    Stalled {
+        /// Spawns never acknowledged back to their senders.
+        undelivered: u64,
+    },
+}
+
+/// Counters from one simulated chaos run. Pure function of the config —
+/// two runs with equal configs produce equal reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSimReport {
+    /// Outcome of the run.
+    pub outcome: ChaosOutcome,
+    /// Spawns issued.
+    pub sent: u64,
+    /// Fresh (first-copy) deliveries at receivers.
+    pub delivered: u64,
+    /// Redundant copies suppressed by sequence dedup (injected
+    /// duplicates plus retransmits that raced their ack).
+    pub dups_suppressed: u64,
+    /// Wire transmissions the plan dropped (data and acks).
+    pub wire_drops: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Messages abandoned after the retry budget.
+    pub retries_exhausted: u64,
+}
+
+enum Ev {
+    /// Sender puts (another) copy of `link_seq` on the wire.
+    Xmit { from: usize, to: usize, link_seq: u64 },
+    /// A copy arrives at `to`.
+    Data { from: usize, to: usize, link_seq: u64, tag: Parity },
+    /// An acknowledgement arrives back at `to` (the original sender).
+    Ack { from: usize, to: usize, link_seq: u64 },
+    /// A delivered spawn's handler finishes at `img`.
+    HandlerDone { img: usize, tag: Parity },
+    /// The sender's ack timer for `link_seq` expires.
+    RetryTimeout { from: usize, to: usize, link_seq: u64 },
+    /// The open reduction wave closes.
+    WaveComplete,
+}
+
+struct Pending {
+    tag: Parity,
+    attempts: u32,
+}
+
+struct ChaosSim {
+    cfg: ChaosSimConfig,
+    wire: ChaosWire,
+    rng: SplitMix64,
+    engine: Engine<Ev>,
+    fsim: FinishSim,
+    /// `trackers[receiver][sender]` — exactly-once filter per link.
+    trackers: Vec<Vec<SeqTracker>>,
+    outstanding: HashMap<(usize, usize, u64), Pending>,
+    wire_seq: u64,
+    acked: u64,
+    report: ChaosSimReport,
+}
+
+impl ChaosSim {
+    fn new(cfg: ChaosSimConfig) -> Self {
+        let p = cfg.images;
+        let wire = ChaosWire::new(cfg.plan.clone(), cfg.retry.clone());
+        let rng = SplitMix64::new(cfg.plan.seed ^ 0xC4A0_5EED);
+        ChaosSim {
+            cfg,
+            wire,
+            rng,
+            engine: Engine::new(),
+            fsim: FinishSim::new(p, true),
+            trackers: (0..p).map(|_| vec![SeqTracker::default(); p]).collect(),
+            outstanding: HashMap::new(),
+            wire_seq: 0,
+            acked: 0,
+            report: ChaosSimReport {
+                outcome: ChaosOutcome::Stalled { undelivered: 0 },
+                sent: 0,
+                delivered: 0,
+                dups_suppressed: 0,
+                wire_drops: 0,
+                retries: 0,
+                retries_exhausted: 0,
+            },
+        }
+    }
+
+    /// Puts one copy of an outstanding message on the wire: rolls its
+    /// fault decision, schedules the arrival(s), and arms the ack timer.
+    fn transmit(&mut self, from: usize, to: usize, link_seq: u64) {
+        let Some(p) = self.outstanding.get(&(from, to, link_seq)) else { return };
+        let (tag, attempts) = (p.tag, p.attempts);
+        let d = self.wire.decide(from, to, self.wire_seq);
+        self.wire_seq += 1;
+        let now = self.engine.now();
+        let extra = self.wire.spike_ns(d) + self.wire.stall_extra_ns(from, to, now);
+        let copies = match (d.drop, d.duplicate) {
+            (true, false) => 0,
+            (false, false) | (true, true) => 1, // dup of a drop: one survives
+            (false, true) => 2,
+        };
+        if d.drop {
+            self.report.wire_drops += 1;
+        }
+        for _ in 0..copies {
+            let delay = self.cfg.net.delivery_delay(self.cfg.bytes, &mut self.rng) + extra;
+            self.engine.schedule(delay, Ev::Data { from, to, link_seq, tag });
+        }
+        self.engine
+            .schedule(self.wire.timeout_ns(attempts), Ev::RetryTimeout { from, to, link_seq });
+    }
+
+    /// Sends an acknowledgement, itself subject to the fault plan.
+    fn send_ack(&mut self, receiver: usize, sender: usize, link_seq: u64) {
+        let d = self.wire.decide(receiver, sender, self.wire_seq);
+        self.wire_seq += 1;
+        if d.drop {
+            self.report.wire_drops += 1;
+            return;
+        }
+        let extra =
+            self.wire.spike_ns(d) + self.wire.stall_extra_ns(receiver, sender, self.engine.now());
+        let delay = self.cfg.net.delivery_delay(ACK_BYTES, &mut self.rng) + extra;
+        self.engine.schedule(delay, Ev::Ack { from: receiver, to: sender, link_seq });
+    }
+
+    /// Attempts wave entry for `img`; the last entrant prices the
+    /// allreduce and schedules the wave's completion.
+    fn try_wave(&mut self, img: usize) {
+        if self.fsim.try_enter(img, self.engine.now()) {
+            let cost = self.cfg.net.allreduce_cost(self.cfg.images, &mut self.rng);
+            self.engine.schedule(cost, Ev::WaveComplete);
+        }
+    }
+
+    fn run(mut self) -> ChaosSimReport {
+        let p = self.cfg.images;
+        // The finish body: every image issues its spawns round-robin over
+        // the other images, staggered by the injection overhead.
+        let mut next_seq = vec![vec![0u64; p]; p];
+        for (img, seqs) in next_seq.iter_mut().enumerate() {
+            for k in 0..self.cfg.msgs_per_image {
+                if p == 1 {
+                    break;
+                }
+                let to = (img + 1 + k % (p - 1)) % p;
+                let link_seq = seqs[to];
+                seqs[to] += 1;
+                let tag = self.fsim.on_send(img);
+                self.outstanding.insert((img, to, link_seq), Pending { tag, attempts: 1 });
+                self.report.sent += 1;
+                self.engine.schedule_at(
+                    k as u64 * self.cfg.net.injection_ns,
+                    Ev::Xmit { from: img, to, link_seq },
+                );
+            }
+        }
+        // Spawns issued: every image is now idle and bids for the wave
+        // (senders are held back by their own unacked messages).
+        for img in 0..p {
+            self.try_wave(img);
+        }
+
+        let mut terminated_at = None;
+        while let Some((now, ev)) = self.engine.pop() {
+            match ev {
+                Ev::Xmit { from, to, link_seq } => self.transmit(from, to, link_seq),
+                Ev::Data { from, to, link_seq, tag } => {
+                    // Always re-ack: the previous ack may have been lost,
+                    // and only an ack stops the sender's timer.
+                    self.send_ack(to, from, link_seq);
+                    if self.trackers[to][from].note(link_seq) {
+                        self.report.delivered += 1;
+                        self.fsim.on_receive(to, tag);
+                        self.engine.schedule(self.cfg.work_ns, Ev::HandlerDone { img: to, tag });
+                    } else {
+                        self.report.dups_suppressed += 1;
+                    }
+                }
+                Ev::Ack { from, to, link_seq } => {
+                    // First ack wins; re-acks of a suppressed duplicate
+                    // find the slot already empty.
+                    if self.outstanding.remove(&(to, from, link_seq)).is_some() {
+                        self.acked += 1;
+                        self.fsim.on_delivered(to);
+                        self.try_wave(to);
+                    }
+                }
+                Ev::HandlerDone { img, tag } => {
+                    self.fsim.on_complete(img, tag);
+                    self.try_wave(img);
+                }
+                Ev::RetryTimeout { from, to, link_seq } => {
+                    let Some(pend) = self.outstanding.get_mut(&(from, to, link_seq)) else {
+                        continue; // already acknowledged
+                    };
+                    if pend.attempts > self.wire.max_retries() {
+                        self.outstanding.remove(&(from, to, link_seq));
+                        self.report.retries_exhausted += 1;
+                    } else {
+                        pend.attempts += 1;
+                        self.report.retries += 1;
+                        self.transmit(from, to, link_seq);
+                    }
+                }
+                Ev::WaveComplete => {
+                    if self.fsim.complete_wave() == WaveDecision::Terminated {
+                        terminated_at = Some(now);
+                        break;
+                    }
+                    for img in 0..p {
+                        self.try_wave(img);
+                    }
+                }
+            }
+        }
+
+        self.report.outcome = match terminated_at {
+            Some(sim_ns) => ChaosOutcome::Terminated { sim_ns, waves: self.fsim.waves() },
+            None => ChaosOutcome::Stalled { undelivered: self.report.sent - self.acked },
+        };
+        self.report
+    }
+}
+
+/// Runs one simulated chaos `finish` and reports what the wire did and
+/// whether the detector terminated.
+pub fn run_chaos_sim(cfg: &ChaosSimConfig) -> ChaosSimReport {
+    ChaosSim::new(cfg.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn chaos_cfg(images: usize, seed: u64, drop_p: f64, dup_p: f64) -> ChaosSimConfig {
+        let mut cfg = ChaosSimConfig::new(images);
+        cfg.plan = FaultPlan::uniform_drop(seed, drop_p).with_dup(dup_p);
+        cfg
+    }
+
+    #[test]
+    fn identical_configs_produce_identical_reports() {
+        let cfg = chaos_cfg(256, 0xD15EA5E, 0.05, 0.02);
+        assert_eq!(run_chaos_sim(&cfg), run_chaos_sim(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_schedules() {
+        let a = run_chaos_sim(&chaos_cfg(256, 1, 0.05, 0.02));
+        let b = run_chaos_sim(&chaos_cfg(256, 2, 0.05, 0.02));
+        assert_ne!(
+            (a.wire_drops, a.retries, a.dups_suppressed),
+            (b.wire_drops, b.retries, b.dups_suppressed)
+        );
+    }
+
+    #[test]
+    fn clean_run_at_4096_images_terminates_exactly_once() {
+        let cfg = ChaosSimConfig::new(4096);
+        let r = run_chaos_sim(&cfg);
+        assert_eq!(r.sent, 2 * 4096);
+        assert_eq!(r.delivered, r.sent, "every spawn delivered");
+        assert_eq!(r.dups_suppressed, 0);
+        assert_eq!(r.wire_drops, 0);
+        assert_eq!(r.retries, 0, "ack timeout must dominate the RTT");
+        assert_eq!(r.retries_exhausted, 0);
+        match r.outcome {
+            ChaosOutcome::Terminated { sim_ns, waves } => {
+                assert!(sim_ns > 0);
+                assert!(waves >= 1, "at least one wave to detect quiescence");
+            }
+            ChaosOutcome::Stalled { .. } => panic!("clean run stalled: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn one_percent_chaos_at_4096_images_is_semantically_invisible() {
+        // The ISSUE's acceptance plan at paper scale: 1% drop + 1% dup on
+        // a jittery (non-FIFO) wire. The retry layer must restore
+        // exactly-once and the detector must still terminate — late, but
+        // never early and never double-counting.
+        let r = run_chaos_sim(&chaos_cfg(4096, 0xCAFE, 0.01, 0.01));
+        assert_eq!(r.sent, 2 * 4096);
+        assert_eq!(r.delivered, r.sent, "no spawn lost: {r:?}");
+        assert_eq!(r.retries_exhausted, 0, "budget must absorb 1% loss");
+        assert!(r.wire_drops > 0, "the plan must actually have fired");
+        assert!(r.dups_suppressed > 0, "dedup must have filtered copies");
+        assert!(r.retries > 0, "drops must have been repaired by retransmit");
+        assert!(
+            matches!(r.outcome, ChaosOutcome::Terminated { .. }),
+            "chaos within budget must still terminate: {r:?}"
+        );
+    }
+
+    #[test]
+    fn spikes_and_stragglers_slow_the_run_but_not_the_semantics() {
+        let mut cfg = ChaosSimConfig::new(512);
+        let clean = run_chaos_sim(&cfg);
+        cfg.plan = FaultPlan::none(9).with_spikes(0.05, Duration::from_micros(50)).with_stall(
+            3,
+            Duration::from_micros(1),
+            Duration::from_micros(200),
+        );
+        let slow = run_chaos_sim(&cfg);
+        assert_eq!(slow.delivered, slow.sent);
+        assert_eq!(slow.retries_exhausted, 0);
+        let (
+            ChaosOutcome::Terminated { sim_ns: t_clean, .. },
+            ChaosOutcome::Terminated { sim_ns: t_slow, .. },
+        ) = (clean.outcome, slow.outcome)
+        else {
+            panic!("both runs must terminate: {clean:?} / {slow:?}");
+        };
+        assert!(t_slow > t_clean, "spikes+stall must cost time: {t_slow} !> {t_clean}");
+    }
+
+    #[test]
+    fn black_hole_link_exhausts_the_budget_and_stalls() {
+        let mut cfg = ChaosSimConfig::new(8);
+        cfg.msgs_per_image = 1;
+        cfg.plan = FaultPlan::none(3).with_link(0, 1, 1.0);
+        let r = run_chaos_sim(&cfg);
+        assert_eq!(r.sent, 8);
+        assert_eq!(r.delivered, 7, "only the 0→1 spawn is lost");
+        assert_eq!(r.retries, cfg.retry.max_retries as u64);
+        assert_eq!(r.retries_exhausted, 1);
+        assert_eq!(r.wire_drops, cfg.retry.max_retries as u64 + 1, "every copy eaten");
+        assert_eq!(
+            r.outcome,
+            ChaosOutcome::Stalled { undelivered: 1 },
+            "the detector must never terminate over a lost spawn"
+        );
+    }
+}

@@ -6,6 +6,8 @@
 //! (`caf_core::termination`):
 //!
 //! * [`finish_sim`] — virtual-time `finish` wave coordination;
+//! * [`chaos_model`] — the fault-injection plan, ack/retry reliable
+//!   delivery, and the stall outcome replayed at 4K+ images;
 //! * [`uts_model`] — lifeline work stealing over up to 32 768 images
 //!   (Figs. 16–18);
 //! * [`ra_model`] — bunched RandomAccess with injection/service limits
@@ -15,11 +17,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos_model;
 pub mod finish_sim;
 pub mod pc_model;
 pub mod ra_model;
 pub mod uts_model;
 
+pub use chaos_model::{run_chaos_sim, ChaosOutcome, ChaosSimConfig, ChaosSimReport};
 pub use finish_sim::FinishSim;
 pub use pc_model::{run_pc, PcConfig, PcResult, SyncVariant};
 pub use ra_model::{run_ra_fs_sim, run_ra_gup_sim, RaSimConfig, RaSimResult};

@@ -137,8 +137,7 @@ pub fn run_ra_fs_sim(cfg: &RaSimConfig) -> RaSimResult {
         eng.schedule(0, Ev::Issue(i));
     }
     let mut end = 0u64;
-    loop {
-        let Some((now, ev)) = eng.pop() else { break };
+    while let Some((now, ev)) = eng.pop() {
         end = now;
         match ev {
             Ev::Issue(img) => {
@@ -148,9 +147,8 @@ pub fn run_ra_fs_sim(cfg: &RaSimConfig) -> RaSimResult {
                     try_enter(&mut eng, &mut fsim, &imgs, img, now, cfg, &mut rng);
                     continue;
                 }
-                let target = imgs[img]
-                    .pending_target
-                    .unwrap_or_else(|| rng.next_below(p as u64) as usize);
+                let target =
+                    imgs[img].pending_target.unwrap_or_else(|| rng.next_below(p as u64) as usize);
                 if imgs[target].inbox >= cfg.inbox_cap {
                     // Credit refused: the refusal burns receiver capacity
                     // (the NACK crosses the wire and is processed) and the

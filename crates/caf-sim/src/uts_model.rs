@@ -385,12 +385,7 @@ mod tests {
     fn no_wait_variant_needs_at_least_as_many_waves() {
         let (strict, _) = small(16, true);
         let (loose, _) = small(16, false);
-        assert!(
-            loose.waves >= strict.waves,
-            "loose {} < strict {}",
-            loose.waves,
-            strict.waves
-        );
+        assert!(loose.waves >= strict.waves, "loose {} < strict {}", loose.waves, strict.waves);
     }
 
     #[test]
@@ -410,10 +405,7 @@ mod tests {
         };
         let t2 = t(2);
         let t16 = t(16);
-        assert!(
-            t16 * 2 < t2,
-            "16 images ({t16} ns) should beat 2 images ({t2} ns) by ≥2×"
-        );
+        assert!(t16 * 2 < t2, "16 images ({t16} ns) should beat 2 images ({t2} ns) by ≥2×");
     }
 
     #[test]

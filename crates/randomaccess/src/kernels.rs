@@ -98,10 +98,8 @@ fn run(images: usize, rt: RuntimeConfig, cfg: RaConfig, kernel: Kernel) -> RaOut
             apply_stream(img, &table, local, cfg, kernel, 0);
             img.barrier(&w);
             let mine: i64 = table.with_local(img.id(), |seg| {
-                seg.iter()
-                    .enumerate()
-                    .filter(|(j, v)| **v != (me * local + j) as u64)
-                    .count() as i64
+                seg.iter().enumerate().filter(|(j, v)| **v != (me * local + j) as u64).count()
+                    as i64
             });
             Some(img.allreduce(&w, mine, |a, b| a + b) as u64)
         } else {

@@ -324,7 +324,10 @@ mod tests {
 
     #[test]
     fn binomial_tree_matches_sequential() {
-        check(4, TreeSpec { kind: crate::tree::TreeKind::Binomial { b0: 50, q: 0.12, m: 8 }, seed: 42 });
+        check(
+            4,
+            TreeSpec { kind: crate::tree::TreeKind::Binomial { b0: 50, q: 0.12, m: 8 }, seed: 42 },
+        );
     }
 
     #[test]

@@ -84,11 +84,7 @@ fn run(n: usize, variant: Variant) -> (f64, u64) {
                         inbox.slice(succ, slot..slot + WORDS),
                         &src,
                         0..WORDS,
-                        CopyEvents {
-                            pre: None,
-                            src: None,
-                            dest: Some(sent),
-                        },
+                        CopyEvents { pre: None, src: None, dest: Some(sent) },
                     );
                     // Local operation completion: wait for delivery.
                     img.event_wait(sent);

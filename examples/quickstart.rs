@@ -9,10 +9,7 @@
 use caf2::{AsyncCollEvents, CommMode, CopyEvents, Pass, Runtime, RuntimeConfig, TeamRank};
 
 fn main() {
-    let cfg = RuntimeConfig {
-        comm_mode: CommMode::DedicatedThread,
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig { comm_mode: CommMode::DedicatedThread, ..RuntimeConfig::default() };
     let n = 4;
     Runtime::launch(n, cfg, |img| {
         let world = img.world();

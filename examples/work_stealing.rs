@@ -150,8 +150,5 @@ fn main() {
     println!("  shipped   (Fig. 3, 2 trips/steal):       {done_fs}/{expect} tasks in {t_fs:.2}s");
     assert_eq!(done_gp, expect);
     assert_eq!(done_fs, expect);
-    println!(
-        "  function shipping speedup on steal-heavy phase: {:.2}x",
-        t_gp / t_fs
-    );
+    println!("  function shipping speedup on steal-heavy phase: {:.2}x", t_gp / t_fs);
 }

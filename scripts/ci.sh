@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The full CI gate: build, tests, clippy (warnings are errors), rustfmt.
+#
+# Usage:
+#   scripts/ci.sh            # the standard gate
+#   scripts/ci.sh --stress   # also run the chaos-stress soak (minutes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== test =="
+cargo test --workspace --quiet
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --all --check
+
+if [[ "${1:-}" == "--stress" ]]; then
+    echo "== chaos-stress soak =="
+    cargo test --quiet -p caf-runtime --features chaos-stress --test chaos
+fi
+
+echo "CI gate passed."

@@ -48,12 +48,9 @@ fn mixed_primitives_account_exactly() {
                         q.spawn(q.image((q.id().index() + 1) % q.num_images()), move |r| {
                             h2.with_local(r.id(), |s| s[0] += 1);
                             let h3 = h2.clone();
-                            r.spawn(
-                                r.image((r.id().index() + 1) % r.num_images()),
-                                move |s_| {
-                                    h3.with_local(s_.id(), |s| s[0] += 1);
-                                },
-                            );
+                            r.spawn(r.image((r.id().index() + 1) % r.num_images()), move |s_| {
+                                h3.with_local(s_.id(), |s| s[0] += 1);
+                            });
                         });
                     });
                     // Implicit puts: mark (round, me) on every peer.
@@ -72,6 +69,11 @@ fn mixed_primitives_account_exactly() {
                 });
                 // Global completion: everyone sees this round's broadcast.
                 assert_eq!(bcast.read(img.id(), 0..1), vec![round as u64]);
+                // Keep a fast image's *next* round (which overwrites the
+                // broadcast slot) from landing before a slow image has
+                // performed the read above: nobody exits this barrier
+                // until everyone has read.
+                img.barrier(&w);
             }
             let mine = hits.read(img.id(), 0..1)[0];
             let put_row = puts.read(img.id(), 0..n);
@@ -103,10 +105,7 @@ fn collectives_survive_background_storm() {
             for k in 0..10 {
                 // Noise: implicit copies to everyone.
                 for peer in 0..n {
-                    img.put_async(
-                        noise.slice(img.image(peer), k % 8..k % 8 + 1),
-                        vec![k as u64],
-                    );
+                    img.put_async(noise.slice(img.image(peer), k % 8..k % 8 + 1), vec![k as u64]);
                 }
                 // Interleaved collectives (matched on all images).
                 acc += img.allreduce(&w, img.id().index() as i64 + k as i64, |a, b| a + b);
@@ -137,7 +136,8 @@ fn nested_finish_on_subteams() {
             });
             img.finish(&sub, |img| {
                 let m = marks.clone();
-                let peer = sub.image_of(TeamRank((sub.rank_of(img.id()).unwrap().0 + 1) % sub.size()));
+                let peer =
+                    sub.image_of(TeamRank((sub.rank_of(img.id()).unwrap().0 + 1) % sub.size()));
                 img.spawn(peer, move |p| {
                     m.with_local(p.id(), |s| s[1] += 1);
                 });

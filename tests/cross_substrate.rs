@@ -60,8 +60,10 @@ fn simulated_load_balance_clusters_near_one() {
 fn strict_finish_never_uses_more_waves() {
     let spec = TreeSpec::geo_fixed(4.0, 7, 19);
     for p in [8usize, 32, 128] {
-        let strict = run_uts_sim(UtsSimConfig { strict_finish: true, ..UtsSimConfig::new(spec, p) });
-        let loose = run_uts_sim(UtsSimConfig { strict_finish: false, ..UtsSimConfig::new(spec, p) });
+        let strict =
+            run_uts_sim(UtsSimConfig { strict_finish: true, ..UtsSimConfig::new(spec, p) });
+        let loose =
+            run_uts_sim(UtsSimConfig { strict_finish: false, ..UtsSimConfig::new(spec, p) });
         assert!(
             strict.waves <= loose.waves,
             "p={p}: strict {} > loose {}",

@@ -33,10 +33,7 @@ fn barrier_misses_f2_on_the_abstract_machine() {
 fn finish_sees_transitive_effects_on_the_runtime() {
     let cfg = RuntimeConfig {
         comm_mode: CommMode::DedicatedThread,
-        network: NetworkModel {
-            latency: Duration::from_micros(500),
-            ..NetworkModel::instant()
-        },
+        network: NetworkModel { latency: Duration::from_micros(500), ..NetworkModel::instant() },
         non_fifo: true,
         ..RuntimeConfig::default()
     };

@@ -17,10 +17,10 @@ fn implicit(access: LocalAccess) -> Stmt {
 #[test]
 fn fig8_reorderings() {
     let program = [
-        implicit(LocalAccess::READ),                              // line 1: outbuf(i) → remote
-        Stmt::Cofence(CofenceSpec::FULL),                         // line 3
-        implicit(LocalAccess::WRITE),                             // line 5: remote → inbuf(i+1)
-        implicit(LocalAccess::READ),                              // line 6: outbuf(i+2) → remote
+        implicit(LocalAccess::READ),      // line 1: outbuf(i) → remote
+        Stmt::Cofence(CofenceSpec::FULL), // line 3
+        implicit(LocalAccess::WRITE),     // line 5: remote → inbuf(i+1)
+        implicit(LocalAccess::READ),      // line 6: outbuf(i+2) → remote
         Stmt::Cofence(CofenceSpec::new(Pass::Writes, Pass::None)), // line 8
     ];
     assert!(!may_complete_after(&program, 0, 1), "line 1 may not cross line 3");

@@ -1,0 +1,215 @@
+//! Offline mini benchmark harness.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! crate cannot be fetched. This shim implements the API subset the
+//! workspace's benches use — `Criterion`, benchmark groups, `iter` /
+//! `iter_batched`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with simple wall-clock measurement: a short
+//! warm-up, then timed batches, reporting mean ns/iteration (and
+//! elements/sec when a throughput is set).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the shim times the routine per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many routine calls per setup batch.
+    SmallInput,
+    /// Large input: few routine calls per setup batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Declared workload per iteration, for derived-rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    mean_ns: f64,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean cost per call.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.target {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.target {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 * 1e9 / mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 * 1e9 / mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<48} {mean_ns:>14.1} ns/iter{rate}");
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with the real crate's main macro.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, self.target, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            target: self.target,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    target: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { mean_ns: 0.0, target };
+    f(&mut b);
+    report(name, b.mean_ns, throughput);
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    target: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (the shim sizes runs by time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, self.target, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion { target: Duration::from_millis(5) };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        g.bench_function("batched", |b| b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput));
+        g.finish();
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline drop-in replacement for the subset of `crossbeam` this
+//! workspace uses (`channel::unbounded`), implemented over
+//! `std::sync::mpsc`. The build environment has no registry access.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (the `crossbeam::channel` subset we use).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(41).unwrap();
+        tx.send(1).unwrap();
+        assert_eq!(rx.iter().take(2).sum::<i32>(), 42);
+    }
+
+    #[test]
+    fn hangup_ends_iteration() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 1);
+    }
+}

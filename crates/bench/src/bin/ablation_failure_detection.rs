@@ -1,0 +1,141 @@
+//! **Ablation**: how fast can a dead image be detected, and what does
+//! aggressiveness cost in false alarms?
+//!
+//! Sweeps the failure detector's heartbeat period over {0.5, 1, 2, 5} ms
+//! with proportional suspect/confirm deadlines (3 missed periods each),
+//! crossed with wire drop rates {0, 1 %, 5 %}, on the 1024-image
+//! discrete-event chaos model with one scheduled crash. Each cell reports
+//!
+//! * **detection latency** — virtual time from the crash firing on the
+//!   wire to the first suspect→confirm transition (the survivors' abort
+//!   follows one reliable `Down` broadcast later);
+//! * **false-suspect rate** — suspicions raised against *live* images
+//!   (dropped heartbeats look like silence) that a later life sign
+//!   refuted, as a fraction of all suspicions.
+//!
+//! The trade-off this makes visible: detection latency scales linearly
+//! with the heartbeat period, while shorter periods + lossier wires buy
+//! that speed with refuted suspicions the protocol must absorb.
+//!
+//! Besides the table, the sweep is recorded as JSON (one object per
+//! cell) in `target/ablation_failure_detection.json`, next to the
+//! `ablation_faults` binary's domain, so runs can be diffed and plotted.
+
+use std::time::Duration;
+
+use bench::{fmt_ns, print_table};
+use caf_core::config::FaultPlan;
+use caf_core::failure::FailureParams;
+use caf_sim::{run_chaos_sim, ChaosOutcome, ChaosSimConfig};
+
+const SEED: u64 = 0xFA_B71C;
+const IMAGES: usize = 1024;
+const VICTIM: usize = 17;
+/// The crash trigger: early enough that the finish is open everywhere.
+const CRASH_AT_SEQ: u64 = 900;
+
+struct Cell {
+    heartbeat: Duration,
+    drop_p: f64,
+    detect_ns: u64,
+    abort_ns: u64,
+    suspects: u64,
+    false_suspects: u64,
+    heartbeats: u64,
+    observers: usize,
+}
+
+fn run_cell(heartbeat: Duration, drop_p: f64) -> Cell {
+    let mut cfg = ChaosSimConfig::new(IMAGES);
+    cfg.plan = FaultPlan::uniform_drop(SEED, drop_p).with_crash(VICTIM, CRASH_AT_SEQ);
+    cfg.failure = Some(FailureParams {
+        heartbeat_period: heartbeat,
+        suspect_after: heartbeat * 3,
+        confirm_after: heartbeat * 3,
+    });
+    let r = run_chaos_sim(&cfg);
+    let ChaosOutcome::Failed { sim_ns, detect_ns, victim, .. } = r.outcome else {
+        panic!("hb {heartbeat:?} drop {drop_p}: crash must be detected, got {:?}", r.outcome);
+    };
+    assert_eq!(victim, VICTIM, "hb {heartbeat:?} drop {drop_p}: wrong victim");
+    Cell {
+        heartbeat,
+        drop_p,
+        detect_ns: detect_ns.expect("crash fault fired on the wire"),
+        abort_ns: sim_ns,
+        suspects: r.suspects,
+        false_suspects: r.false_suspects,
+        heartbeats: r.heartbeats,
+        observers: r.observers.len(),
+    }
+}
+
+fn false_rate(c: &Cell) -> f64 {
+    if c.suspects == 0 {
+        0.0
+    } else {
+        c.false_suspects as f64 / c.suspects as f64
+    }
+}
+
+fn json_line(c: &Cell) -> String {
+    format!(
+        "  {{\"heartbeat_us\": {}, \"drop_pct\": {}, \"detect_ns\": {}, \"abort_ns\": {}, \
+         \"suspects\": {}, \"false_suspects\": {}, \"false_suspect_rate\": {:.4}, \
+         \"heartbeats\": {}, \"observers\": {}}}",
+        c.heartbeat.as_micros(),
+        c.drop_p * 100.0,
+        c.detect_ns,
+        c.abort_ns,
+        c.suspects,
+        c.false_suspects,
+        false_rate(c),
+        c.heartbeats,
+        c.observers,
+    )
+}
+
+fn main() {
+    let heartbeats = [
+        Duration::from_micros(500),
+        Duration::from_millis(1),
+        Duration::from_millis(2),
+        Duration::from_millis(5),
+    ];
+    let rates = [0.0, 0.01, 0.05];
+    let mut cells = Vec::new();
+    for &hb in &heartbeats {
+        for &p in &rates {
+            cells.push(run_cell(hb, p));
+        }
+    }
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{} µs", c.heartbeat.as_micros()),
+                format!("{:.0}%", c.drop_p * 100.0),
+                fmt_ns(c.detect_ns),
+                fmt_ns(c.abort_ns),
+                c.suspects.to_string(),
+                format!("{} ({:.1}%)", c.false_suspects, false_rate(c) * 100.0),
+                (c.observers).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Failure-detection ablation: one crash among {IMAGES} sim images \
+             (suspect = confirm = 3 heartbeats)"
+        ),
+        &["heartbeat", "drop", "detect", "abort", "suspects", "false (rate)", "observers"],
+        &rows,
+    );
+    let json = format!("[\n{}\n]\n", cells.iter().map(json_line).collect::<Vec<_>>().join(",\n"));
+    let path = "target/ablation_failure_detection.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nRecorded {} cells to {path}.", cells.len()),
+        Err(e) => println!("\nCould not record JSON to {path}: {e}"),
+    }
+    println!("Every cell detected the scheduled victim; all survivors observed the death.");
+}

@@ -9,7 +9,8 @@
 
 use std::time::Duration;
 
-pub use crate::fault::{FaultDecision, FaultPlan, LinkFault, RetryPolicy, StallWindow};
+pub use crate::failure::FailureParams;
+pub use crate::fault::{CrashFault, FaultDecision, FaultPlan, LinkFault, RetryPolicy, StallWindow};
 
 /// Cost model of the simulated interconnect.
 ///
@@ -155,6 +156,13 @@ pub struct RuntimeConfig {
     /// long, the runtime dumps per-image diagnostics and aborts with
     /// `RuntimeError::Stalled` instead of hanging. `None` disables it.
     pub watchdog: Option<Duration>,
+    /// Heartbeat-based fail-stop failure detection. When set, the fabric
+    /// pumps heartbeats on idle links, suspects then confirms silent
+    /// peers, and the runtime converts a confirmed death into
+    /// `RuntimeError::ImageFailed` on every survivor instead of hanging
+    /// in `finish`/collectives. `None` disables detection (a crashed
+    /// image then surfaces only through the watchdog, as a stall).
+    pub failure: Option<FailureParams>,
 }
 
 impl Default for RuntimeConfig {
@@ -168,6 +176,7 @@ impl Default for RuntimeConfig {
             faults: None,
             retry: RetryPolicy::default(),
             watchdog: None,
+            failure: None,
         }
     }
 }

@@ -50,6 +50,20 @@ impl StallWindow {
     }
 }
 
+/// A deterministic fail-stop crash: `image` dies the instant the fabric's
+/// global wire sequence counter reaches `at_seq`. Keying the crash to the
+/// wire sequence (rather than wall-clock) makes the failure point exactly
+/// reproducible on both substrates: the threaded fabric and the
+/// discrete-event simulator count transmissions identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The image that fail-stops.
+    pub image: usize,
+    /// Global wire sequence number at which the image is considered dead:
+    /// the crash fires on the first transmission with `wire_seq >= at_seq`.
+    pub at_seq: u64,
+}
+
 /// What the fault layer decided to do to one wire message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultDecision {
@@ -88,6 +102,9 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Per-image straggler windows.
     pub stalls: Vec<StallWindow>,
+    /// Fail-stop crash schedule (one entry per crashing image; the
+    /// earliest `at_seq` wins if an image appears twice).
+    pub crashes: Vec<CrashFault>,
 }
 
 impl FaultPlan {
@@ -101,6 +118,7 @@ impl FaultPlan {
             spike_delay: Duration::ZERO,
             links: Vec::new(),
             stalls: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -134,6 +152,12 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a fail-stop crash of `image` at global wire sequence `at_seq`.
+    pub fn with_crash(mut self, image: usize, at_seq: u64) -> Self {
+        self.crashes.push(CrashFault { image, at_seq });
+        self
+    }
+
     /// Whether the plan can perturb anything at all.
     pub fn is_active(&self) -> bool {
         self.drop_p > 0.0
@@ -141,6 +165,13 @@ impl FaultPlan {
             || self.spike_p > 0.0
             || self.links.iter().any(|l| l.drop_p > 0.0)
             || !self.stalls.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// The wire sequence at which `image` fail-stops, if it is scheduled
+    /// to crash (earliest point wins when listed more than once).
+    pub fn crash_point(&self, image: usize) -> Option<u64> {
+        self.crashes.iter().filter(|c| c.image == image).map(|c| c.at_seq).min()
     }
 
     /// Effective drop probability for one ordered link.
@@ -349,5 +380,19 @@ mod tests {
     fn inactive_plan_reports_inactive() {
         assert!(!FaultPlan::none(3).is_active());
         assert!(FaultPlan::uniform_drop(3, 0.01).is_active());
+    }
+
+    #[test]
+    fn crash_schedule_activates_the_plan() {
+        let plan = FaultPlan::none(9).with_crash(2, 100);
+        assert!(plan.is_active(), "a crash-only plan must route through chaos");
+        assert_eq!(plan.crash_point(2), Some(100));
+        assert_eq!(plan.crash_point(1), None);
+    }
+
+    #[test]
+    fn earliest_crash_point_wins() {
+        let plan = FaultPlan::none(9).with_crash(3, 500).with_crash(3, 120);
+        assert_eq!(plan.crash_point(3), Some(120));
     }
 }

@@ -7,7 +7,11 @@
 //! * [`ids`] — image/team/finish/event identifiers and epoch [`ids::Parity`];
 //! * [`config`] — the interconnect cost model and runtime configuration;
 //! * [`fault`] — seeded deterministic fault injection (drops, duplicates,
-//!   delay spikes, stragglers) and the retry policy that answers it;
+//!   delay spikes, stragglers, fail-stop crashes) and the retry policy
+//!   that answers it;
+//! * [`failure`] — heartbeat-based fail-stop failure detection:
+//!   suspect/confirm transitions, incarnation numbers, posthumous-message
+//!   filtering;
 //! * [`topology`] — teams, `team_split`, binomial trees, dissemination
 //!   rounds, hypercube lifeline neighbours;
 //! * [`epoch`] — the even/odd epoch counters of the `finish` termination
@@ -30,6 +34,7 @@
 pub mod cofence;
 pub mod config;
 pub mod epoch;
+pub mod failure;
 pub mod fault;
 pub mod ids;
 pub mod model;
@@ -40,6 +45,7 @@ pub mod topology;
 pub use cofence::{CofenceSpec, LocalAccess, Pass};
 pub use config::{CommMode, NetworkModel, RuntimeConfig};
 pub use epoch::{EpochCounters, EpochState};
-pub use fault::{FaultDecision, FaultPlan, RetryPolicy, SeqTracker, StallWindow};
+pub use failure::{FailureDetectorState, FailureEvent, FailureParams, PeerHealth};
+pub use fault::{CrashFault, FaultDecision, FaultPlan, RetryPolicy, SeqTracker, StallWindow};
 pub use ids::{EventId, FinishId, ImageId, Parity, TeamId, TeamRank};
 pub use topology::{BinomialTree, Team};

@@ -23,6 +23,7 @@ pub struct BarrierDetector {
     delivered: u64,
     /// Received messages currently executing locally.
     executing: u64,
+    poisoned: Option<usize>,
 }
 
 impl BarrierDetector {
@@ -56,9 +57,22 @@ impl BarrierDetector {
     /// The (unsound) local-done predicate: everything *I* initiated has
     /// landed and nothing is executing here right now. The image then
     /// enters the barrier; once all images have entered, the detector
-    /// declares termination — possibly wrongly.
+    /// declares termination — possibly wrongly. A poisoned detector is
+    /// immediately "done": an ack owed by a dead image never arrives, so
+    /// waiting on it would turn the crash into a deadlock.
     pub fn locally_done(&self) -> bool {
-        self.sent == self.delivered && self.executing == 0
+        self.poisoned.is_some() || (self.sent == self.delivered && self.executing == 0)
+    }
+
+    /// Marks `image` as fail-stopped: the barrier wait aborts (the
+    /// runtime surfaces the failure instead of completing the barrier).
+    pub fn poison(&mut self, image: usize) {
+        self.poisoned.get_or_insert(image);
+    }
+
+    /// The first fail-stopped image this detector was told about, if any.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
     }
 }
 
@@ -87,6 +101,16 @@ mod tests {
         assert!(!d.locally_done());
         d.on_complete(Parity::Even);
         assert!(d.locally_done());
+    }
+
+    #[test]
+    fn poison_unblocks_a_wait_on_a_dead_acker() {
+        let mut d = BarrierDetector::new();
+        d.on_send(); // the target dies before acking
+        assert!(!d.locally_done());
+        d.poison(4);
+        assert!(d.locally_done(), "poison must abort the wait");
+        assert_eq!(d.poisoned_by(), Some(4));
     }
 
     /// The blind spot in miniature: after my own spawn is delivered I am

@@ -34,13 +34,21 @@ pub struct CentralizedDetector {
     /// Activities currently executing locally (must be zero to quiesce).
     active: usize,
     reports_sent: usize,
+    poisoned: Option<usize>,
 }
 
 impl CentralizedDetector {
     /// Worker state for `me` among `places` images.
     pub fn new(me: ImageId, places: usize) -> Self {
         assert!(me.0 < places);
-        CentralizedDetector { me, places, pending: vec![0; places], active: 0, reports_sent: 0 }
+        CentralizedDetector {
+            me,
+            places,
+            pending: vec![0; places],
+            active: 0,
+            reports_sent: 0,
+            poisoned: None,
+        }
     }
 
     /// Records spawning one activity to `target`.
@@ -85,6 +93,18 @@ impl CentralizedDetector {
     pub fn reports_sent(&self) -> usize {
         self.reports_sent
     }
+
+    /// Marks `image` as fail-stopped: the worker stops waiting for the
+    /// home's termination verdict (which can never arrive normally — the
+    /// dead place will never report its deltas).
+    pub fn poison(&mut self, image: usize) {
+        self.poisoned.get_or_insert(image);
+    }
+
+    /// The first fail-stopped image this worker was told about, if any.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
+    }
 }
 
 /// Home-side state at the place owning the finish.
@@ -95,6 +115,7 @@ pub struct CentralizedHome {
     heard_from: Vec<bool>,
     reports_received: usize,
     bytes_received: usize,
+    poisoned: Option<usize>,
 }
 
 impl CentralizedHome {
@@ -106,6 +127,7 @@ impl CentralizedHome {
             heard_from: vec![false; places],
             reports_received: 0,
             bytes_received: 0,
+            poisoned: None,
         }
     }
 
@@ -123,9 +145,25 @@ impl CentralizedHome {
         self.terminated()
     }
 
-    /// Current detection state.
+    /// Current detection state. A poisoned finish never terminates
+    /// normally: the home instead reports the failure via
+    /// [`poisoned_by`](Self::poisoned_by) and the runtime aborts the wait.
     pub fn terminated(&self) -> bool {
-        self.heard_from.iter().all(|&h| h) && self.sum.iter().all(|&s| s == 0)
+        self.poisoned.is_none()
+            && self.heard_from.iter().all(|&h| h)
+            && self.sum.iter().all(|&s| s == 0)
+    }
+
+    /// Marks `image` as fail-stopped. Its lane can never balance (the
+    /// dead place will not complete or report the activities spawned to
+    /// it), so the home abandons normal termination.
+    pub fn poison(&mut self, image: usize) {
+        self.poisoned.get_or_insert(image);
+    }
+
+    /// The first fail-stopped image reported to the home, if any.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
     }
 
     /// Total vector reports the home has absorbed (the hot-spot metric).
@@ -185,6 +223,22 @@ mod tests {
         }
         assert_eq!(home.reports_received(), n);
         assert_eq!(home.bytes_received(), n * n * 8);
+    }
+
+    #[test]
+    fn poisoned_home_never_declares_termination() {
+        let n = 3;
+        let mut home = CentralizedHome::new(n);
+        home.poison(2); // image 2 died before reporting
+        for i in 0..n - 1 {
+            let mut w = CentralizedDetector::new(ImageId(i), n);
+            assert!(!home.ingest(&w.take_report().unwrap()));
+        }
+        assert!(!home.terminated());
+        assert_eq!(home.poisoned_by(), Some(2));
+        let mut w = CentralizedDetector::new(ImageId(0), n);
+        w.poison(2);
+        assert_eq!(w.poisoned_by(), Some(2));
     }
 
     #[test]

@@ -20,13 +20,14 @@ pub struct EpochDetector {
     state: EpochState,
     wait_for_quiescence: bool,
     waves: usize,
+    poisoned: Option<usize>,
 }
 
 impl EpochDetector {
     /// Creates a detector. `wait_for_quiescence` selects between the
     /// paper's algorithm (`true`) and the no-upper-bound variant (`false`).
     pub fn new(wait_for_quiescence: bool) -> Self {
-        EpochDetector { state: EpochState::new(), wait_for_quiescence, waves: 0 }
+        EpochDetector { state: EpochState::new(), wait_for_quiescence, waves: 0, poisoned: None }
     }
 
     /// Read access to the underlying epoch state (for tests/metrics).
@@ -53,7 +54,9 @@ impl WaveDetector for EpochDetector {
     }
 
     fn ready(&self) -> bool {
-        !self.wait_for_quiescence || self.state.ready_for_wave()
+        // A poisoned finish stops waiting for quiescence: the dead image
+        // will never deliver the acks/completions the precondition needs.
+        self.poisoned.is_some() || !self.wait_for_quiescence || self.state.ready_for_wave()
     }
 
     fn enter_wave(&mut self) -> Contribution {
@@ -63,7 +66,9 @@ impl WaveDetector for EpochDetector {
     fn exit_wave(&mut self, reduced: Contribution) -> WaveDecision {
         self.state.exit_wave();
         self.waves += 1;
-        if reduced[0] == 0 {
+        if self.poisoned.is_some() {
+            WaveDecision::Poisoned
+        } else if reduced[0] == 0 {
             WaveDecision::Terminated
         } else {
             WaveDecision::Continue
@@ -72,6 +77,14 @@ impl WaveDetector for EpochDetector {
 
     fn waves(&self) -> usize {
         self.waves
+    }
+
+    fn poison(&mut self, image: usize) {
+        self.poisoned.get_or_insert(image);
+    }
+
+    fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
     }
 }
 
@@ -115,6 +128,22 @@ mod tests {
         d.on_receive(Parity::Even);
         d.on_complete(Parity::Even);
         assert_eq!(d.enter_wave(), [1, 0]); // 2 sent − 1 completed
+    }
+
+    #[test]
+    fn poison_overrides_quiescence_and_the_sum() {
+        let mut d = EpochDetector::new(true);
+        d.on_send(); // unacked: strict variant is not ready
+        assert!(!d.ready());
+        d.poison(2);
+        assert!(d.ready(), "poison must unblock the quiescence wait");
+        d.enter_wave();
+        // Even a zero global sum cannot mean clean termination any more.
+        assert_eq!(d.exit_wave([0, 0]), WaveDecision::Poisoned);
+        assert_eq!(d.poisoned_by(), Some(2));
+        // First poisoner wins.
+        d.poison(3);
+        assert_eq!(d.poisoned_by(), Some(2));
     }
 
     #[test]

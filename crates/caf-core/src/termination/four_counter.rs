@@ -19,6 +19,7 @@ pub struct FourCounterDetector {
     completed: u64,
     prev_sums: Option<Contribution>,
     waves: usize,
+    poisoned: Option<usize>,
 }
 
 impl FourCounterDetector {
@@ -51,8 +52,10 @@ impl WaveDetector for FourCounterDetector {
         // what they received before contributing, otherwise a "received
         // but not yet re-spawned" function would let the counts balance
         // while work is pending. Counting completed receptions achieves
-        // the same effect as counting at handler exit.
-        self.received == self.completed
+        // the same effect as counting at handler exit. A poisoned finish
+        // skips the wait: a function shipped from the dead image may
+        // never be completable.
+        self.poisoned.is_some() || self.received == self.completed
     }
 
     fn enter_wave(&mut self) -> Contribution {
@@ -64,7 +67,9 @@ impl WaveDetector for FourCounterDetector {
         let balanced = reduced[0] == reduced[1];
         let stable = self.prev_sums == Some(reduced);
         self.prev_sums = Some(reduced);
-        if balanced && stable {
+        if self.poisoned.is_some() {
+            WaveDecision::Poisoned
+        } else if balanced && stable {
             WaveDecision::Terminated
         } else {
             WaveDecision::Continue
@@ -73,6 +78,14 @@ impl WaveDetector for FourCounterDetector {
 
     fn waves(&self) -> usize {
         self.waves
+    }
+
+    fn poison(&mut self, image: usize) {
+        self.poisoned.get_or_insert(image);
+    }
+
+    fn poisoned_by(&self) -> Option<usize> {
+        self.poisoned
     }
 }
 
@@ -108,6 +121,20 @@ mod tests {
         assert_eq!(d.exit_wave([4, 4]), WaveDecision::Continue); // balanced but moved
         d.enter_wave();
         assert_eq!(d.exit_wave([4, 4]), WaveDecision::Terminated);
+    }
+
+    #[test]
+    fn poison_aborts_even_a_stable_balanced_wave() {
+        let mut d = FourCounterDetector::new();
+        d.on_receive(Parity::Even); // never completed: not ready
+        assert!(!d.ready());
+        d.poison(1);
+        assert!(d.ready());
+        d.enter_wave();
+        assert_eq!(d.exit_wave([0, 0]), WaveDecision::Poisoned);
+        d.enter_wave();
+        assert_eq!(d.exit_wave([0, 0]), WaveDecision::Poisoned, "stable + balanced stays poisoned");
+        assert_eq!(d.poisoned_by(), Some(1));
     }
 
     #[test]

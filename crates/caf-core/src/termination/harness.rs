@@ -123,6 +123,9 @@ enum Ev {
     Ack { to: usize, tag: Parity },
     /// A function finishes executing at `at`: ship children, complete.
     ExecDone { at: usize, tag: Parity, children: Vec<SpawnTree> },
+    /// Failure detection completes: every survivor poisons its detector
+    /// (models the `ImageDown` broadcast landing team-wide).
+    Poison,
 }
 
 struct Scheduled {
@@ -147,6 +150,42 @@ impl Ord for Scheduled {
         // BinaryHeap is a max-heap; invert for earliest-first.
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
+}
+
+/// Crash-injection parameters of one [`Harness::run_with_crash`] step.
+#[derive(Debug, Clone, Copy)]
+struct Trigger {
+    victim: usize,
+    crash_at_event: usize,
+    detect_delay: u64,
+}
+
+/// Outcome of a [`Harness::run_with_crash`] experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOutcome {
+    /// The finish terminated cleanly — the crash point was never reached,
+    /// or every survivor-relevant message completed before any survivor
+    /// learned of the death.
+    Terminated {
+        /// Reduction waves used.
+        waves: usize,
+    },
+    /// Every survivor agreed the finish was poisoned by the dead image.
+    Poisoned {
+        /// Reduction waves used, including the aborting one.
+        waves: usize,
+    },
+}
+
+/// Result of a [`Harness::run_barrier_with_crash`] experiment: the
+/// barrier-based strategy under a fail-stop crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierCrashRun {
+    /// Abstract time at which every survivor left the barrier wait.
+    pub declared_at: u64,
+    /// Whether the exit was a poisoned abort (vs. normal completion
+    /// because the crash point was never reached).
+    pub poisoned: bool,
 }
 
 /// Result of a [`Harness::run_barrier`] experiment with the unsound
@@ -224,6 +263,7 @@ impl Harness {
                 self.detectors[at].on_complete(tag);
                 self.outstanding -= 1;
             }
+            Ev::Poison => unreachable!("poison event outside a crash run"),
         }
     }
 
@@ -298,7 +338,151 @@ impl Harness {
                 WaveDecision::Continue => {
                     assert!(waves < self.max_waves, "detector live-locked after {waves} waves");
                 }
+                WaveDecision::Poisoned => {
+                    panic!("detector poisoned without an injected crash")
+                }
             }
+        }
+    }
+
+    /// Runs `plan` with image `victim` fail-stopping just before the
+    /// `crash_at_event`-th event is processed (0-based; a count past the
+    /// end of the schedule means the crash never fires). `detect_delay`
+    /// time units after the crash, every survivor's detector is poisoned
+    /// — modelling the heartbeat detector confirming the death and the
+    /// `ImageDown` broadcast landing team-wide.
+    ///
+    /// From the crash onward the victim is inert: events destined to it
+    /// (deliveries, acks, its own pending executions) are discarded, and
+    /// it neither contributes to nor exits reduction waves.
+    ///
+    /// # Panics
+    /// Panics if the surviving detectors deadlock (some survivor never
+    /// becomes ready with the queue drained), disagree on a wave
+    /// decision, declare termination with survivor-relevant work
+    /// outstanding, or exceed `max_waves` — i.e. the crash-freedom
+    /// properties the runtime relies on.
+    pub fn run_with_crash(
+        &mut self,
+        plan: SpawnPlan,
+        victim: usize,
+        crash_at_event: usize,
+        detect_delay: u64,
+    ) -> CrashOutcome {
+        let n = self.detectors.len();
+        assert!(n > 1, "need at least one survivor");
+        assert!(victim < n, "victim out of range");
+        self.rng = SplitMix64::new(plan.jitter_seed);
+        self.jitter_max = plan.jitter_max;
+        for (initiator, tree) in plan.roots.clone() {
+            assert!(initiator < n && tree.target < n, "plan references unknown image");
+            self.send_spawn(initiator, tree, plan.net_delay);
+        }
+
+        let mut crashed = false;
+        let mut poisoned = false;
+        let mut processed = 0usize;
+        let mut waves = 0usize;
+        loop {
+            // Phase 1: a wave closes only once *every* image has entered
+            // the allreduce — a dead non-entrant blocks it, exactly like
+            // the real collective would hang on the missing contribution.
+            // Poison breaks the impasse: once delivered, the survivors
+            // close the wave among themselves (its decision is then
+            // `Poisoned` regardless of the sum, so a survivor-only sum is
+            // never *interpreted* as clean termination).
+            let mut entered: Vec<Option<[i64; 2]>> = vec![None; n];
+            loop {
+                for (i, d) in self.detectors.iter_mut().enumerate() {
+                    if crashed && i == victim {
+                        continue; // the dead image never enters
+                    }
+                    if entered[i].is_none() && d.ready() {
+                        entered[i] = Some(d.enter_wave());
+                    }
+                }
+                let closes = |i: usize| entered[i].is_some() || (poisoned && i == victim);
+                if (0..n).all(closes) {
+                    break;
+                }
+                let Some(next) = self.queue.pop() else {
+                    panic!(
+                        "deadlock: queue empty but some survivor never became \
+                         ready (poison not propagated?)"
+                    );
+                };
+                let trigger = Trigger { victim, crash_at_event, detect_delay };
+                self.crash_step(next, &plan, trigger, &mut crashed, &mut poisoned, &mut processed);
+            }
+
+            let wave_end = self.now + plan.wave_delay.max(1);
+            while self.queue.peek().is_some_and(|s| s.time <= wave_end) {
+                let next = self.queue.pop().expect("peeked");
+                let trigger = Trigger { victim, crash_at_event, detect_delay };
+                self.crash_step(next, &plan, trigger, &mut crashed, &mut poisoned, &mut processed);
+            }
+            self.now = wave_end;
+            let sum = entered.iter().flatten().fold([0i64; 2], |a, c| [a[0] + c[0], a[1] + c[1]]);
+            waves += 1;
+            let mut decisions = (0..n)
+                .filter(|&i| !(crashed && i == victim))
+                .map(|i| self.detectors[i].exit_wave(sum));
+            let first = decisions.next().expect("n > 1");
+            assert!(decisions.all(|d| d == first), "survivors disagreed on the wave decision");
+            match first {
+                WaveDecision::Terminated => {
+                    assert_eq!(
+                        self.outstanding, 0,
+                        "UNSOUND: termination declared with {} survivor-relevant messages \
+                         outstanding",
+                        self.outstanding
+                    );
+                    return CrashOutcome::Terminated { waves };
+                }
+                WaveDecision::Poisoned => return CrashOutcome::Poisoned { waves },
+                WaveDecision::Continue => {
+                    assert!(waves < self.max_waves, "survivors live-locked after {waves} waves");
+                }
+            }
+        }
+    }
+
+    /// One event step of [`run_with_crash`]: fires the crash when its
+    /// trigger count is reached, discards events involving the dead
+    /// victim, delivers poison, and processes everything else normally.
+    fn crash_step(
+        &mut self,
+        next: Scheduled,
+        plan: &SpawnPlan,
+        trigger: Trigger,
+        crashed: &mut bool,
+        poisoned: &mut bool,
+        processed: &mut usize,
+    ) {
+        if !*crashed && *processed == trigger.crash_at_event {
+            *crashed = true;
+            self.seq += 1;
+            let time = next.time + trigger.detect_delay.max(1);
+            self.queue.push(Scheduled { time, seq: self.seq, ev: Ev::Poison });
+        }
+        *processed += 1;
+        self.now = next.time;
+        let victim = trigger.victim;
+        match next.ev {
+            Ev::Poison => {
+                *poisoned = true;
+                for (i, d) in self.detectors.iter_mut().enumerate() {
+                    if i != victim {
+                        d.poison(victim);
+                    }
+                }
+            }
+            // Work that died with the victim can never affect a survivor:
+            // it leaves the ground-truth outstanding count.
+            Ev::Deliver { to, .. } if *crashed && to == victim => self.outstanding -= 1,
+            Ev::ExecDone { at, .. } if *crashed && at == victim => self.outstanding -= 1,
+            Ev::Ack { to, .. } if *crashed && to == victim => {}
+            ev => self.process(ev, plan),
         }
     }
 
@@ -394,6 +578,131 @@ impl Harness {
                     dets[at].on_complete(tag);
                     outstanding -= 1;
                 }
+                Ev::Poison => unreachable!("poison event outside a crash run"),
+            }
+        }
+    }
+
+    /// Runs `plan` under the barrier-based strategy with image `victim`
+    /// fail-stopping just before the `crash_at_event`-th event. After
+    /// `detect_delay`, every survivor's [`BarrierDetector`] is poisoned,
+    /// which aborts its barrier wait — the property that keeps a dead
+    /// image from hanging the (already unsound) strawman forever.
+    pub fn run_barrier_with_crash(
+        n: usize,
+        plan: SpawnPlan,
+        victim: usize,
+        crash_at_event: usize,
+        detect_delay: u64,
+    ) -> BarrierCrashRun {
+        assert!(n > 1 && victim < n);
+        let mut dets: Vec<BarrierDetector> = (0..n).map(|_| BarrierDetector::new()).collect();
+        let mut entered = vec![false; n];
+        let mut queue: BinaryHeap<Scheduled> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut rng = SplitMix64::new(plan.jitter_seed);
+        let mut crashed = false;
+        let mut processed = 0usize;
+
+        let schedule = |queue: &mut BinaryHeap<Scheduled>,
+                        seq: &mut u64,
+                        now: u64,
+                        rng: &mut SplitMix64,
+                        delay: u64,
+                        ev: Ev| {
+            let jitter = if plan.jitter_max > 0 { rng.next_below(plan.jitter_max) } else { 0 };
+            *seq += 1;
+            queue.push(Scheduled { time: now + delay + jitter, seq: *seq, ev });
+        };
+
+        for (initiator, tree) in plan.roots.clone() {
+            let tag = dets[initiator].on_send();
+            schedule(
+                &mut queue,
+                &mut seq,
+                now,
+                &mut rng,
+                plan.net_delay,
+                Ev::Deliver { to: tree.target, from: initiator, tag, children: tree.children },
+            );
+        }
+
+        loop {
+            for i in 0..n {
+                if !entered[i] && dets[i].locally_done() {
+                    entered[i] = true;
+                }
+            }
+            if entered.iter().all(|&e| e) {
+                let poisoned =
+                    dets.iter().enumerate().any(|(i, d)| i != victim && d.poisoned_by().is_some());
+                return BarrierCrashRun { declared_at: now, poisoned };
+            }
+            let next = queue.pop().expect("survivors wedged: poison never unblocked the barrier");
+            if !crashed && processed == crash_at_event {
+                crashed = true;
+                seq += 1;
+                queue.push(Scheduled {
+                    time: next.time + detect_delay.max(1),
+                    seq,
+                    ev: Ev::Poison,
+                });
+            }
+            processed += 1;
+            now = next.time;
+            match next.ev {
+                Ev::Poison => {
+                    for (i, d) in dets.iter_mut().enumerate() {
+                        if i != victim {
+                            d.poison(victim);
+                        }
+                    }
+                    // The dead image no longer gates the (aborted) exit.
+                    entered[victim] = true;
+                }
+                Ev::Deliver { to, .. } if crashed && to == victim => {}
+                Ev::ExecDone { at, .. } if crashed && at == victim => {}
+                Ev::Ack { to, .. } if crashed && to == victim => {}
+                Ev::Deliver { to, from, tag, children } => {
+                    dets[to].on_receive(tag);
+                    schedule(
+                        &mut queue,
+                        &mut seq,
+                        now,
+                        &mut rng,
+                        plan.ack_delay,
+                        Ev::Ack { to: from, tag },
+                    );
+                    schedule(
+                        &mut queue,
+                        &mut seq,
+                        now,
+                        &mut rng,
+                        plan.exec_delay,
+                        Ev::ExecDone { at: to, tag, children },
+                    );
+                }
+                Ev::Ack { to, tag } => dets[to].on_delivered(tag),
+                Ev::ExecDone { at, tag, children } => {
+                    for child in children {
+                        let ctag = dets[at].on_send();
+                        schedule(
+                            &mut queue,
+                            &mut seq,
+                            now,
+                            &mut rng,
+                            plan.net_delay,
+                            Ev::Deliver {
+                                to: child.target,
+                                from: at,
+                                tag: ctag,
+                                children: child.children,
+                            },
+                        );
+                    }
+                    dets[at].on_complete(tag);
+                }
             }
         }
     }
@@ -463,6 +772,44 @@ mod tests {
             let mut h = Harness::new(4, || Box::new(FourCounterDetector::new()));
             h.run(plan);
         }
+    }
+
+    #[test]
+    fn crash_mid_chain_poisons_every_survivor() {
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, chain(&[1, 2, 3]));
+        let mut h = Harness::new(4, || Box::new(EpochDetector::new(true)));
+        let out = h.run_with_crash(plan, 2, 3, 5);
+        assert!(matches!(out, CrashOutcome::Poisoned { .. }), "expected poison, got {out:?}");
+    }
+
+    #[test]
+    fn crash_point_past_the_schedule_is_a_clean_run() {
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, node(1, vec![]));
+        let mut h = Harness::new(4, || Box::new(EpochDetector::new(true)));
+        let out = h.run_with_crash(plan, 3, 10_000, 5);
+        assert!(matches!(out, CrashOutcome::Terminated { .. }), "no crash fired, got {out:?}");
+    }
+
+    #[test]
+    fn crash_before_any_event_still_resolves() {
+        // The victim dies before the first delivery: the sender's spawn
+        // into the dead image can never be acked, so only poison can
+        // unblock the survivors.
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, chain(&[1, 2, 3]));
+        let mut h = Harness::new(4, || Box::new(EpochDetector::new(true)));
+        let out = h.run_with_crash(plan, 2, 0, 7);
+        assert!(matches!(out, CrashOutcome::Poisoned { .. }), "expected poison, got {out:?}");
+    }
+
+    #[test]
+    fn barrier_crash_aborts_instead_of_hanging() {
+        let mut plan = SpawnPlan::default();
+        plan.spawn(0, node(1, vec![node(2, vec![])]));
+        let run = Harness::run_barrier_with_crash(3, plan, 1, 0, 4);
+        assert!(run.poisoned, "survivors must abort the barrier wait");
     }
 
     /// Paper Fig. 5, deterministically: p(=0) ships f1 to q(=1); f1 ships

@@ -42,6 +42,10 @@ pub enum WaveDecision {
     Terminated,
     /// Work may remain; run another wave.
     Continue,
+    /// A contributor fail-stopped: the finish can never terminate
+    /// normally, so the wave aborts and the runtime surfaces
+    /// `ImageFailed` instead of waiting on the dead image forever.
+    Poisoned,
 }
 
 /// Contribution of one image to one reduction wave. Wave-based detectors
@@ -72,6 +76,14 @@ pub trait WaveDetector {
     fn exit_wave(&mut self, reduced: Contribution) -> WaveDecision;
     /// Number of waves this image has completed.
     fn waves(&self) -> usize;
+    /// Marks `image` as fail-stopped. The detector must become
+    /// [`ready`](Self::ready) immediately (the dead image will never
+    /// deliver the acks/completions quiescence waits for) and every
+    /// subsequent [`exit_wave`](Self::exit_wave) must decide
+    /// [`WaveDecision::Poisoned`].
+    fn poison(&mut self, image: usize);
+    /// The first fail-stopped image this detector was told about, if any.
+    fn poisoned_by(&self) -> Option<usize>;
 }
 
 #[cfg(test)]

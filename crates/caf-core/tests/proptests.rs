@@ -335,3 +335,152 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         Just(Stmt::FinishEnd),
     ]
 }
+
+// ---------------------------------------------------------------------------
+// Fail-stop crashes: no finish deadlock under any single-image crash at any
+// point in the spawn tree, for all four detector families.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The strict epoch detector either terminates cleanly (crash point
+    /// never reached) or every survivor agrees on `Poisoned` — it never
+    /// deadlocks, whatever event the victim dies at. Soundness of a clean
+    /// termination is asserted inside the harness.
+    #[test]
+    fn epoch_detector_survives_any_single_crash(
+        plan in spawn_plan(5),
+        victim in 0usize..5,
+        crash_at in 0usize..200,
+        detect_delay in 1u64..30,
+    ) {
+        let mut h = Harness::new(5, || Box::new(EpochDetector::new(true)));
+        h.run_with_crash(plan, victim, crash_at, detect_delay);
+    }
+
+    /// Same property for the no-upper-bound epoch variant, which keeps
+    /// reducing speculatively while poison is in flight.
+    #[test]
+    fn loose_epoch_detector_survives_any_single_crash(
+        plan in spawn_plan(4),
+        victim in 0usize..4,
+        crash_at in 0usize..150,
+        detect_delay in 1u64..30,
+    ) {
+        let mut h = Harness::new(4, || Box::new(EpochDetector::new(false)));
+        h.run_with_crash(plan, victim, crash_at, detect_delay);
+    }
+
+    /// Mattern's four-counter detector under the same crash sweep.
+    #[test]
+    fn four_counter_detector_survives_any_single_crash(
+        plan in spawn_plan(5),
+        victim in 0usize..5,
+        crash_at in 0usize..200,
+        detect_delay in 1u64..30,
+    ) {
+        let mut h = Harness::new(5, || Box::new(FourCounterDetector::new()));
+        h.run_with_crash(plan, victim, crash_at, detect_delay);
+    }
+
+    /// The barrier strawman: poison must always unblock the survivors'
+    /// barrier wait (the crash must never add a *new* way to hang).
+    #[test]
+    fn barrier_detector_crash_always_unblocks(
+        plan in spawn_plan(4),
+        victim in 0usize..4,
+        crash_at in 0usize..150,
+        detect_delay in 1u64..30,
+    ) {
+        let run = Harness::run_barrier_with_crash(4, plan, victim, crash_at, detect_delay);
+        // Either the barrier completed before the crash point was reached,
+        // or the survivors aborted with poison; both end the wait.
+        prop_assert!(run.declared_at < u64::MAX);
+    }
+
+    /// Centralized (X10-style) detection: a dead worker's missing vector
+    /// report must keep the home from declaring termination, and poison
+    /// must give the waiting images a verdict to abort on.
+    #[test]
+    fn centralized_home_poison_gives_a_verdict(
+        n in 2usize..6,
+        spawns in prop::collection::vec((0usize..6, 0usize..6), 0..12),
+        victim_seed in any::<u64>(),
+    ) {
+        use caf_core::ids::ImageId;
+        use caf_core::termination::{CentralizedDetector, CentralizedHome};
+        let victim = (victim_seed % n as u64) as usize;
+        let mut home = CentralizedHome::new(n);
+        let mut workers: Vec<CentralizedDetector> =
+            (0..n).map(|i| CentralizedDetector::new(ImageId(i), n)).collect();
+        for (from, to) in spawns {
+            workers[from % n].on_spawn(ImageId(to % n));
+        }
+        // The victim dies before reporting; survivors all report.
+        for (i, w) in workers.iter_mut().enumerate() {
+            if i == victim {
+                continue;
+            }
+            if let Some(r) = w.take_report() {
+                home.ingest(&r);
+            }
+        }
+        prop_assert!(!home.terminated(), "victim never reported, yet home terminated");
+        home.poison(victim);
+        prop_assert!(!home.terminated());
+        prop_assert_eq!(home.poisoned_by(), Some(victim));
+    }
+}
+
+proptest! {
+    /// The posthumous filter composed with sequence dedup: while the
+    /// peer lives, `SeqTracker` restores exactly-once over any
+    /// interleaving of fresh copies and duplicates; once the peer is
+    /// confirmed dead at incarnation `k`, *no* message stamped `≤ k`
+    /// gets past the incarnation check — regardless of sequence number —
+    /// while a restarted incarnation `k+1` is admitted again.
+    #[test]
+    fn posthumous_messages_never_survive_the_incarnation_check(
+        pre in prop::collection::vec(0u64..64, 0..40),
+        post in prop::collection::vec(0u64..64, 1..40),
+        death_inc in 1u64..4,
+    ) {
+        use caf_core::failure::{FailureDetectorState, FailureParams};
+        use std::collections::HashSet;
+        let peer = 7usize;
+        let mut det = FailureDetectorState::new(FailureParams::default());
+        let mut tracker = SeqTracker::default();
+        let now = Duration::from_millis(1);
+        det.monitor(peer, now);
+        let mut fresh = HashSet::new();
+        for &seq in &pre {
+            prop_assert!(det.accepts(peer, death_inc), "live peer must be accepted");
+            det.on_life_sign(peer, death_inc, now);
+            if tracker.note(seq) {
+                prop_assert!(fresh.insert(seq), "SeqTracker double-delivered {seq}");
+            }
+        }
+        det.mark_dead(peer, death_inc, now);
+        for &seq in &post {
+            // Every copy stamped at or below the dead incarnation is
+            // discarded before the tracker ever sees it — including
+            // sequence numbers that were never delivered pre-death.
+            for inc in 0..=death_inc {
+                prop_assert!(
+                    !det.accepts(peer, inc),
+                    "posthumous seq {seq} at incarnation {inc} accepted"
+                );
+            }
+        }
+        // Unmonitored bystanders are unaffected by the death.
+        prop_assert!(det.accepts(peer + 1, 1));
+        // A restart under the next incarnation is admitted, and its
+        // stream starts over with a fresh tracker: exactly-once again.
+        prop_assert!(det.accepts(peer, death_inc + 1), "restarted incarnation rejected");
+        let mut restarted = SeqTracker::default();
+        let unique: HashSet<u64> = post.iter().copied().collect();
+        let delivered = post.iter().filter(|&&s| restarted.note(s)).count();
+        prop_assert_eq!(delivered, unique.len(), "restart stream not exactly-once");
+    }
+}

@@ -21,20 +21,67 @@
 //! ([`crate::reliable`]): per-link sequence numbers, receiver-side dedup,
 //! ack timers with exponential backoff, and a capped retry budget whose
 //! exhaustion is surfaced to the runtime's no-progress watchdog.
+//!
+//! Fail-stop crashes: a [`CrashFault`](caf_core::fault::CrashFault) in the
+//! plan (or a runtime call to [`Fabric::mark_crashed`], e.g. from a panic
+//! boundary) silences an image mid-run — every wire transmission touching
+//! it is destroyed from that point on. When failure detection is engaged
+//! ([`Fabric::with_chaos`] with [`FailureParams`]), each image pumps
+//! heartbeats on idle links and drives a per-image
+//! [`FailureDetectorState`] from heartbeat deadlines *and* retry-budget
+//! exhaustion; confirmed deaths surface through
+//! [`Fabric::poll_failures`], and traffic from a confirmed-dead
+//! incarnation is discarded by the posthumous filter.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use caf_core::config::NetworkModel;
+use caf_core::failure::{FailureDetectorState, FailureEvent, FailureParams, PeerHealth};
 use caf_core::fault::{FaultPlan, RetryPolicy};
 use caf_core::ids::ImageId;
 use caf_core::rng::splitmix64_hash;
 use parking_lot::Mutex;
 
 use crate::inbox::Inbox;
-use crate::reliable::{Outstanding, RecvState, SenderState, Wire, ACK_BYTES};
+use crate::reliable::{Outstanding, RecvState, SenderState, Wire, ACK_BYTES, HEARTBEAT_BYTES};
 use crate::stats::FabricStats;
+
+/// Incarnation stamped on every image's traffic. Restarts (which would
+/// bump it) are not implemented; the constant still flows through the
+/// protocol so the posthumous filter exercises the real comparison.
+const FIRST_INCARNATION: u64 = 1;
+
+/// A death confirmed by (or reported to) an image's failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfirmedDown {
+    /// The dead image.
+    pub peer: usize,
+    /// Its last known incarnation; traffic stamped `<=` this is posthumous.
+    pub incarnation: u64,
+    /// Wall-clock from the crash firing on the wire to this observer's
+    /// confirmation. `None` when the crash origin is unknown to the
+    /// fabric (e.g. the death was learned from a broadcast).
+    pub latency: Option<Duration>,
+}
+
+/// Per-observing-image failure-detection state.
+struct Observer {
+    detector: FailureDetectorState,
+    /// Last heartbeat emission per peer link.
+    last_hb: Vec<Instant>,
+    /// Confirmed deaths not yet drained by [`Fabric::poll_failures`].
+    confirmed: VecDeque<ConfirmedDown>,
+}
+
+/// Heartbeat + failure-detection state, engaged by
+/// [`Fabric::with_chaos`] when failure params are supplied.
+struct FailureLayer {
+    params: FailureParams,
+    observers: Vec<Mutex<Observer>>,
+}
 
 /// Fault-injection schedule plus the reliable-delivery state answering it.
 struct Chaos<M> {
@@ -46,6 +93,8 @@ struct Chaos<M> {
     senders: Vec<Mutex<SenderState<M>>>,
     /// Per-receiving-image dedup state (indexed by receiver).
     receivers: Vec<Mutex<RecvState>>,
+    /// Heartbeats + failure detectors, when engaged.
+    failure: Option<FailureLayer>,
 }
 
 /// Retransmission batch drained under the sender lock: destination,
@@ -60,6 +109,14 @@ pub struct Fabric<M> {
     seq: AtomicU64,
     stats: FabricStats,
     chaos: Option<Chaos<M>>,
+    /// Fail-stop flags, one per image. Set by a
+    /// [`CrashFault`](caf_core::fault::CrashFault) firing on the wire or
+    /// by [`Fabric::mark_crashed`]; once set, every
+    /// transmission touching the image is destroyed. Allocated in every
+    /// mode (panic boundaries crash images even without a fault plan).
+    crashed: Vec<AtomicBool>,
+    /// When each crash fired — the base for detection-latency reporting.
+    crashed_at: Vec<Mutex<Option<Instant>>>,
     /// Set when the runtime aborts (e.g. the no-progress watchdog fired):
     /// releases senders parked under backpressure so their threads can be
     /// joined instead of sleeping on a drain that will never come.
@@ -71,7 +128,7 @@ impl<M: Send> Fabric<M> {
     /// enables deterministic pseudo-random reordering of same-pair
     /// messages (delivery deadlines get up to `latency/2` extra skew).
     pub fn new(n: usize, model: NetworkModel, non_fifo: bool) -> Arc<Self> {
-        Fabric::build(n, model, non_fifo, None)
+        Fabric::build(n, model, non_fifo, None, None)
     }
 
     /// A fabric whose wire misbehaves per `plan` and whose delivery layer
@@ -85,7 +142,22 @@ impl<M: Send> Fabric<M> {
         plan: FaultPlan,
         retry: RetryPolicy,
     ) -> Arc<Self> {
-        Fabric::build(n, model, non_fifo, Some((plan, retry)))
+        Fabric::build(n, model, non_fifo, Some((plan, retry)), None)
+    }
+
+    /// [`Fabric::with_faults`] plus optional fail-stop failure detection:
+    /// with `failure` set, every image pumps heartbeats on idle links,
+    /// runs a [`FailureDetectorState`] over its peers, and surfaces
+    /// confirmed deaths through [`Fabric::poll_failures`].
+    pub fn with_chaos(
+        n: usize,
+        model: NetworkModel,
+        non_fifo: bool,
+        plan: FaultPlan,
+        retry: RetryPolicy,
+        failure: Option<FailureParams>,
+    ) -> Arc<Self> {
+        Fabric::build(n, model, non_fifo, Some((plan, retry)), failure)
     }
 
     fn build(
@@ -93,7 +165,9 @@ impl<M: Send> Fabric<M> {
         model: NetworkModel,
         non_fifo: bool,
         faults: Option<(FaultPlan, RetryPolicy)>,
+        failure: Option<FailureParams>,
     ) -> Arc<Self> {
+        let epoch = Instant::now();
         Arc::new(Fabric {
             inboxes: (0..n).map(|_| Inbox::new()).collect(),
             model,
@@ -103,10 +177,28 @@ impl<M: Send> Fabric<M> {
             chaos: faults.map(|(plan, retry)| Chaos {
                 plan,
                 retry,
-                epoch: Instant::now(),
+                epoch,
                 senders: (0..n).map(|_| Mutex::new(SenderState::new(n))).collect(),
                 receivers: (0..n).map(|_| Mutex::new(RecvState::new(n))).collect(),
+                failure: failure.map(|params| FailureLayer {
+                    observers: (0..n)
+                        .map(|me| {
+                            let mut detector = FailureDetectorState::new(params.clone());
+                            for peer in (0..n).filter(|&p| p != me) {
+                                detector.monitor(peer, Duration::ZERO);
+                            }
+                            Mutex::new(Observer {
+                                detector,
+                                last_hb: vec![epoch; n],
+                                confirmed: VecDeque::new(),
+                            })
+                        })
+                        .collect(),
+                    params,
+                }),
             }),
+            crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            crashed_at: (0..n).map(|_| Mutex::new(None)).collect(),
             halted: AtomicBool::new(false),
         })
     }
@@ -129,6 +221,99 @@ impl<M: Send> Fabric<M> {
     /// Whether the reliable-delivery (chaos) layer is engaged.
     pub fn faults_active(&self) -> bool {
         self.chaos.is_some()
+    }
+
+    /// Whether heartbeat-based failure detection is engaged.
+    pub fn failure_active(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.failure.is_some())
+    }
+
+    /// The failure-detection windows in force, if engaged.
+    pub fn failure_params(&self) -> Option<&FailureParams> {
+        self.chaos.as_ref().and_then(|c| c.failure.as_ref()).map(|fl| &fl.params)
+    }
+
+    /// Whether `image` has fail-stopped (crash fault fired, or the
+    /// runtime reported it via [`Fabric::mark_crashed`]). An image thread
+    /// observing its own flag must unwind instead of continuing to run.
+    pub fn is_crashed(&self, image: ImageId) -> bool {
+        self.crashed[image.index()].load(Ordering::Acquire)
+    }
+
+    /// Every image whose fail-stop flag is set.
+    pub fn crashed_images(&self) -> Vec<usize> {
+        (0..self.size()).filter(|&i| self.is_crashed(ImageId(i))).collect()
+    }
+
+    /// Reports `image` as fail-stopped from outside the fault plan — the
+    /// runtime's panic boundary calls this when an image closure panics.
+    /// Idempotent; wakes every parked image so senders re-check flags.
+    pub fn mark_crashed(&self, image: ImageId) {
+        self.crashed[image.index()].store(true, Ordering::Release);
+        self.crashed_at[image.index()].lock().get_or_insert_with(Instant::now);
+        for inbox in &self.inboxes {
+            inbox.poke();
+        }
+    }
+
+    /// Records at `observer`'s detector a death learned externally (an
+    /// `ImageDown` broadcast): engages the posthumous filter there
+    /// without waiting out the observer's own suspect window.
+    pub fn mark_peer_dead(&self, observer: ImageId, peer: usize, incarnation: u64) {
+        if let Some(chaos) = &self.chaos {
+            if let Some(fl) = &chaos.failure {
+                let elapsed = chaos.epoch.elapsed();
+                fl.observers[observer.index()].lock().detector.mark_dead(
+                    peer,
+                    incarnation,
+                    elapsed,
+                );
+            }
+        }
+    }
+
+    /// Drains the deaths `image`'s detector has confirmed since the last
+    /// poll (pumping the detector first, so an image that only polls
+    /// still advances its deadlines).
+    pub fn poll_failures(&self, image: ImageId) -> Vec<ConfirmedDown> {
+        self.pump_retries(image);
+        let Some(fl) = self.chaos.as_ref().and_then(|c| c.failure.as_ref()) else {
+            return Vec::new();
+        };
+        fl.observers[image.index()].lock().confirmed.drain(..).collect()
+    }
+
+    /// `image`'s detector counters: `(suspects_raised, false_suspects)`.
+    /// Zero when failure detection is off.
+    pub fn failure_metrics(&self, image: ImageId) -> (u64, u64) {
+        match self.chaos.as_ref().and_then(|c| c.failure.as_ref()) {
+            Some(fl) => {
+                let obs = fl.observers[image.index()].lock();
+                (obs.detector.suspects_raised(), obs.detector.false_suspects())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Announces `image`'s clean exit to every surviving detector, so the
+    /// silence of a normal staggered shutdown is never read as a crash.
+    pub fn retire(&self, image: ImageId) {
+        if let Some(chaos) = &self.chaos {
+            if let Some(fl) = &chaos.failure {
+                let elapsed = chaos.epoch.elapsed();
+                for (me, obs) in fl.observers.iter().enumerate() {
+                    if me != image.index() {
+                        obs.lock().detector.retire(image.index(), elapsed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discards every queued message in every inbox (graceful team-wide
+    /// drain after a failure verdict), returning the number dropped.
+    pub fn drain_inboxes(&self) -> usize {
+        self.inboxes.iter().map(|inbox| inbox.drain()).sum()
     }
 
     /// Unacknowledged reliable messages currently owned by `image` as a
@@ -172,7 +357,15 @@ impl<M: Send> Fabric<M> {
             } else {
                 Duration::from_micros(100)
             };
-            while inbox.len() >= cap && !self.halted() {
+            // A crashed endpoint ends the park: a dead receiver never
+            // drains its inbox, and a dead sender has nothing to deliver —
+            // either way the message is destined for the wire-level
+            // crash drop, so admit it immediately.
+            while inbox.len() >= cap
+                && !self.halted()
+                && !self.is_crashed(to)
+                && !self.is_crashed(from)
+            {
                 self.stats.note_backpressure_stall();
                 self.pump_retries(from);
                 inbox.wait_space_until(cap, Instant::now() + quantum);
@@ -195,7 +388,9 @@ impl<M: Send> Fabric<M> {
         msg: M,
     ) -> Result<(), M> {
         if let Some(cap) = self.model.inbox_capacity.filter(|_| from != to) {
-            if self.inboxes[to.index()].len() >= cap {
+            // A crashed target's inbox never drains; don't refuse forever —
+            // admit the message and let the wire-level crash drop eat it.
+            if self.inboxes[to.index()].len() >= cap && !self.is_crashed(to) {
                 self.stats.note_backpressure_stall();
                 return Err(msg);
             }
@@ -249,6 +444,23 @@ impl<M: Send> Fabric<M> {
     fn transmit(&self, from: ImageId, to: ImageId, payload_bytes: usize, wire: Wire<M>) {
         let inbox = &self.inboxes[to.index()];
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        // Scheduled crashes fire on the first transmission at or past
+        // their trigger sequence — the same wire-seq keying both
+        // substrates use, so a crash point reproduces across runs.
+        if let Some(chaos) = &self.chaos {
+            for c in &chaos.plan.crashes {
+                if seq >= c.at_seq && !self.crashed[c.image].load(Ordering::Acquire) {
+                    self.crashed[c.image].store(true, Ordering::Release);
+                    self.crashed_at[c.image].lock().get_or_insert_with(Instant::now);
+                }
+            }
+        }
+        // Fail-stop: a dead image neither injects nor receives. The
+        // arming transmission itself is already subject to the drop.
+        if self.is_crashed(from) || self.is_crashed(to) {
+            self.stats.note_crash_drop();
+            return;
+        }
         let mut delay = self.model.injection_overhead;
         if from != to {
             delay += self.model.wire_time(payload_bytes);
@@ -292,11 +504,35 @@ impl<M: Send> Fabric<M> {
     /// thread of its own).
     fn pump_retries(&self, image: ImageId) {
         let Some(chaos) = &self.chaos else { return };
+        if self.is_crashed(image) {
+            return; // the dead retransmit nothing and heartbeat no one
+        }
         let now = Instant::now();
+        // Peers this image's detector has confirmed dead: their pending
+        // retransmissions are dead letters — abandon them instead of
+        // burning the retry budget against a black hole.
+        let dead: Vec<usize> = match &chaos.failure {
+            Some(fl) => fl.observers[image.index()]
+                .lock()
+                .detector
+                .dead_peers()
+                .into_iter()
+                .map(|(peer, _)| peer)
+                .collect(),
+            None => Vec::new(),
+        };
         let mut resend: Resend<M> = Vec::new();
+        let mut exhausted: Vec<usize> = Vec::new();
         {
             let mut st = chaos.senders[image.index()].lock();
             for (dest, queue) in st.outstanding.iter_mut().enumerate() {
+                if dead.contains(&dest) {
+                    for _ in 0..queue.len() {
+                        self.stats.note_crash_drop();
+                    }
+                    queue.clear();
+                    continue;
+                }
                 queue.retain_mut(|o| {
                     if o.next_retry > now {
                         return true;
@@ -307,6 +543,7 @@ impl<M: Send> Fabric<M> {
                         // if it truly never arrives, the runtime's
                         // watchdog turns the quiet into a diagnostic.
                         self.stats.note_retry_exhausted();
+                        exhausted.push(dest);
                         return false;
                     }
                     o.attempts += 1;
@@ -316,9 +553,64 @@ impl<M: Send> Fabric<M> {
                 });
             }
         }
+        if let Some(fl) = &chaos.failure {
+            if !exhausted.is_empty() {
+                // A spent retry budget is a strong death hint: skip the
+                // silence deadline and go straight to the suspect window.
+                let elapsed = chaos.epoch.elapsed();
+                let mut obs = fl.observers[image.index()].lock();
+                for dest in exhausted {
+                    obs.detector.on_retry_exhausted(dest, elapsed);
+                }
+            }
+        }
         for (dest, link_seq, payload, bytes) in resend {
             self.stats.note_retry();
             self.transmit(image, dest, bytes, Wire::Data { from: image, link_seq, payload });
+        }
+        self.pump_failure(image, chaos, now);
+    }
+
+    /// Failure-detection duty cycle for `image`, run from its own fabric
+    /// calls (the same lazy-pumping discipline as retransmission):
+    /// heartbeat every peer whose link has been idle past the period,
+    /// then advance the detector's deadlines and queue any confirmed
+    /// deaths for [`Fabric::poll_failures`].
+    fn pump_failure(&self, image: ImageId, chaos: &Chaos<M>, now: Instant) {
+        let Some(fl) = &chaos.failure else { return };
+        let elapsed = now.saturating_duration_since(chaos.epoch);
+        let mut beats: Vec<usize> = Vec::new();
+        {
+            let mut obs = fl.observers[image.index()].lock();
+            for peer in (0..self.size()).filter(|&p| p != image.index()) {
+                // No point heartbeating the confirmed dead or retired.
+                if matches!(
+                    obs.detector.health(peer),
+                    Some(PeerHealth::Dead) | Some(PeerHealth::Retired)
+                ) {
+                    continue;
+                }
+                if now.saturating_duration_since(obs.last_hb[peer]) >= fl.params.heartbeat_period {
+                    obs.last_hb[peer] = now;
+                    beats.push(peer);
+                }
+            }
+            for ev in obs.detector.tick(elapsed) {
+                if let FailureEvent::Confirmed { peer, incarnation, .. } = ev {
+                    let latency =
+                        (*self.crashed_at[peer].lock()).map(|at| now.saturating_duration_since(at));
+                    obs.confirmed.push_back(ConfirmedDown { peer, incarnation, latency });
+                }
+            }
+        }
+        for peer in beats {
+            self.stats.note_heartbeat();
+            self.transmit(
+                image,
+                ImageId(peer),
+                HEARTBEAT_BYTES,
+                Wire::Heartbeat { from: image, incarnation: FIRST_INCARNATION },
+            );
         }
     }
 
@@ -340,6 +632,14 @@ impl<M: Send> Fabric<M> {
             }
             Wire::Data { from, link_seq, payload } => {
                 let chaos = self.chaos.as_ref().expect("Data frames only exist under chaos");
+                // Posthumous filter: data from a confirmed-dead
+                // incarnation (a retransmit buffered in flight when the
+                // sender died) must not be acked, delivered, or allowed
+                // to resurrect work under a poisoned finish epoch.
+                if !self.note_life_sign(chaos, image, from, FIRST_INCARNATION) {
+                    self.stats.note_posthumous_drop();
+                    return None;
+                }
                 // Always (re-)acknowledge — the previous ack may itself
                 // have been dropped. Acks ride the faulty wire too.
                 self.stats.note_ack();
@@ -360,6 +660,10 @@ impl<M: Send> Fabric<M> {
             }
             Wire::Ack { from, link_seq } => {
                 if let Some(chaos) = &self.chaos {
+                    if !self.note_life_sign(chaos, image, from, FIRST_INCARNATION) {
+                        self.stats.note_posthumous_drop();
+                        return None;
+                    }
                     let mut st = chaos.senders[image.index()].lock();
                     let queue = &mut st.outstanding[from.index()];
                     if let Some(pos) = queue.iter().position(|o| o.link_seq == link_seq) {
@@ -368,6 +672,37 @@ impl<M: Send> Fabric<M> {
                 }
                 None
             }
+            Wire::Heartbeat { from, incarnation } => {
+                if let Some(chaos) = &self.chaos {
+                    if !self.note_life_sign(chaos, image, from, incarnation) {
+                        self.stats.note_posthumous_drop();
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Feeds one received frame into `image`'s failure detector as a life
+    /// sign from `from`. Returns whether the frame should be accepted
+    /// (`false` = posthumous). Always `true` without a failure layer.
+    fn note_life_sign(
+        &self,
+        chaos: &Chaos<M>,
+        image: ImageId,
+        from: ImageId,
+        incarnation: u64,
+    ) -> bool {
+        match &chaos.failure {
+            Some(fl) => {
+                let elapsed = chaos.epoch.elapsed();
+                fl.observers[image.index()].lock().detector.on_life_sign(
+                    from.index(),
+                    incarnation,
+                    elapsed,
+                )
+            }
+            None => true,
         }
     }
 
@@ -678,6 +1013,142 @@ mod tests {
             t0.elapsed().as_micros(),
             stall.as_millis()
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Fail-stop crashes + failure detection
+    // ------------------------------------------------------------------
+
+    use caf_core::failure::FailureParams;
+
+    fn chaos_pair(plan: FaultPlan) -> Arc<Fabric<u32>> {
+        Fabric::with_chaos(
+            2,
+            NetworkModel::instant(),
+            false,
+            plan,
+            RetryPolicy::aggressive(),
+            Some(FailureParams::aggressive()),
+        )
+    }
+
+    #[test]
+    fn idle_links_heartbeat_and_stay_alive() {
+        let f = chaos_pair(FaultPlan::none(7));
+        let deadline = Instant::now() + FailureParams::aggressive().detection_horizon() * 3;
+        while Instant::now() < deadline {
+            for i in 0..2 {
+                while f.try_recv(img(i)).is_some() {}
+                f.wait_activity(img(i), Instant::now() + Duration::from_micros(200));
+            }
+        }
+        assert!(f.stats().heartbeats() > 0, "idle links must heartbeat");
+        assert!(f.poll_failures(img(0)).is_empty(), "image 1 is alive");
+        assert!(f.poll_failures(img(1)).is_empty(), "image 0 is alive");
+    }
+
+    #[test]
+    fn injected_crash_is_confirmed_by_the_survivor() {
+        // Image 1 crashes on the very first wire transmission.
+        let f = chaos_pair(FaultPlan::none(3).with_crash(1, 0));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut downs = Vec::new();
+        while downs.is_empty() {
+            assert!(Instant::now() < deadline, "crash never confirmed");
+            downs = f.poll_failures(img(0));
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert_eq!(downs[0].peer, 1);
+        assert_eq!(downs[0].incarnation, 1);
+        assert!(downs[0].latency.is_some(), "fabric knows when the crash fired");
+        assert!(f.is_crashed(img(1)));
+        assert_eq!(f.crashed_images(), vec![1]);
+        assert!(f.stats().crash_drops() > 0, "traffic to the dead image is destroyed");
+    }
+
+    #[test]
+    fn posthumous_data_is_filtered_not_delivered() {
+        let model = NetworkModel { latency: Duration::from_millis(30), ..NetworkModel::instant() };
+        let f: Arc<Fabric<u32>> = Fabric::with_chaos(
+            2,
+            model,
+            false,
+            FaultPlan::none(11),
+            RetryPolicy { ack_timeout: Duration::from_secs(60), ..RetryPolicy::default() },
+            Some(FailureParams::default()),
+        );
+        // Image 1's message is in flight when image 0 learns of its death
+        // (e.g. from an ImageDown broadcast).
+        f.send(img(1), img(0), 4, 77);
+        f.mark_peer_dead(img(0), 1, 1);
+        let got = f.recv_until(img(0), Instant::now() + Duration::from_millis(200));
+        assert_eq!(got, None, "posthumous payload must not surface");
+        assert!(f.stats().posthumous_drops() > 0);
+        assert_eq!(f.stats().delivered(), 0);
+    }
+
+    #[test]
+    fn crashed_destination_never_parks_a_sender() {
+        let model = NetworkModel { inbox_capacity: Some(1), ..NetworkModel::instant() };
+        let f: Arc<Fabric<u32>> = Fabric::with_chaos(
+            2,
+            model,
+            false,
+            FaultPlan::none(5),
+            RetryPolicy::default(),
+            Some(FailureParams::default()),
+        );
+        f.send(img(0), img(1), 0, 1); // fills the capacity-1 inbox
+        f.mark_crashed(img(1));
+        let t0 = Instant::now();
+        f.send(img(0), img(1), 0, 2); // must admit-and-drop, not park
+        assert!(t0.elapsed() < Duration::from_secs(1), "sender parked on a dead drainer");
+        assert!(f.stats().crash_drops() > 0);
+        assert!(f.try_send(img(0), img(1), 0, 3).is_ok(), "try_send must admit-and-drop too");
+    }
+
+    #[test]
+    fn retired_images_are_never_suspected() {
+        let f = chaos_pair(FaultPlan::none(9));
+        f.retire(img(1)); // image 1 exits cleanly and goes silent
+        let deadline = Instant::now() + FailureParams::aggressive().detection_horizon() * 3;
+        while Instant::now() < deadline {
+            assert!(f.poll_failures(img(0)).is_empty(), "clean exit misread as a crash");
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let (suspects, _) = f.failure_metrics(img(0));
+        assert_eq!(suspects, 0, "retired peers must never enter the suspect window");
+    }
+
+    #[test]
+    fn retry_exhaustion_fast_paths_to_death_confirmation() {
+        // Both directions are black holes, and the silence deadline is an
+        // hour: only the retry-exhaustion hint can raise the suspicion.
+        let plan = FaultPlan::none(2).with_link(0, 1, 1.0).with_link(1, 0, 1.0);
+        let retry = RetryPolicy {
+            ack_timeout: Duration::from_micros(200),
+            backoff: 2,
+            max_timeout: Duration::from_millis(1),
+            max_retries: 3,
+        };
+        let params = FailureParams {
+            heartbeat_period: Duration::from_millis(1),
+            suspect_after: Duration::from_secs(3600),
+            confirm_after: Duration::from_millis(5),
+        };
+        let f: Arc<Fabric<u32>> =
+            Fabric::with_chaos(2, NetworkModel::instant(), false, plan, retry, Some(params));
+        f.send(img(0), img(1), 0, 9);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut downs = Vec::new();
+        while downs.is_empty() {
+            assert!(Instant::now() < deadline, "exhaustion never confirmed the death");
+            f.wait_activity(img(0), Instant::now() + Duration::from_micros(200));
+            downs = f.poll_failures(img(0));
+        }
+        assert!(f.stats().retries_exhausted() > 0);
+        assert_eq!(downs[0].peer, 1);
+        assert_eq!(downs[0].latency, None, "no crash fault fired; origin unknown");
     }
 
     #[test]

@@ -165,6 +165,21 @@ impl<M> Inbox<M> {
         }
     }
 
+    /// Discards every queued message, due or not, returning how many were
+    /// dropped. Wakes senders parked on flow control so a teardown after
+    /// a detected failure never leaves a thread blocked on space that the
+    /// (now absent) receiver would have had to free.
+    pub fn drain(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let n = inner.heap.len();
+        inner.heap.clear();
+        self.len.store(0, Ordering::Release);
+        drop(inner);
+        self.space.notify_all();
+        self.arrived.notify_all();
+        n
+    }
+
     /// Number of queued messages (due or not) — the backpressure metric.
     /// Lock-free: reads the atomic depth mirror.
     pub fn len(&self) -> usize {

@@ -13,6 +13,12 @@
 //! * [`reliable`] — the ack/retry delivery sublayer engaged under fault
 //!   injection: per-link sequence numbers, receiver dedup, backoff timers;
 //! * [`stats`] — traffic counters for benches and ablations.
+//!
+//! Fail-stop support: with failure detection engaged
+//! ([`Fabric::with_chaos`]), the fabric pumps heartbeats on idle links,
+//! drives a per-image failure detector (heartbeat deadlines + retry
+//! exhaustion), destroys traffic touching crashed images, and filters
+//! posthumous frames by incarnation. See [`fabric::ConfirmedDown`].
 
 #![warn(missing_docs)]
 
@@ -22,7 +28,7 @@ pub mod pump;
 pub mod reliable;
 pub mod stats;
 
-pub use fabric::Fabric;
+pub use fabric::{ConfirmedDown, Fabric};
 pub use inbox::Inbox;
 pub use pump::{CommMode, CommPump};
 pub use stats::FabricStats;

@@ -30,6 +30,9 @@ use parking_lot::Mutex;
 /// Simulated size of a protocol acknowledgement, in bytes.
 pub(crate) const ACK_BYTES: usize = 16;
 
+/// Simulated size of a heartbeat frame, in bytes.
+pub(crate) const HEARTBEAT_BYTES: usize = 8;
+
 /// The on-the-wire envelope carried by inboxes.
 pub(crate) enum Wire<M> {
     /// Fast path (fault layer off, or self-send): the bare message.
@@ -51,6 +54,16 @@ pub(crate) enum Wire<M> {
         /// Sequence number being acknowledged.
         link_seq: u64,
     },
+    /// Unacknowledged keep-alive pumped on idle links when failure
+    /// detection is engaged. Best-effort: heartbeats roll the same fault
+    /// dice as data (a dropped heartbeat is how false suspects happen).
+    Heartbeat {
+        /// The image proving it is alive.
+        from: ImageId,
+        /// The sender's incarnation number; receivers use it for the
+        /// posthumous filter.
+        incarnation: u64,
+    },
 }
 
 impl<M> Wire<M> {
@@ -63,6 +76,9 @@ impl<M> Wire<M> {
                 Some(Wire::Data { from: *from, link_seq: *link_seq, payload: Arc::clone(payload) })
             }
             Wire::Ack { from, link_seq } => Some(Wire::Ack { from: *from, link_seq: *link_seq }),
+            Wire::Heartbeat { from, incarnation } => {
+                Some(Wire::Heartbeat { from: *from, incarnation: *incarnation })
+            }
         }
     }
 }

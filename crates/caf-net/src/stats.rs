@@ -16,6 +16,9 @@ pub struct FabricStats {
     retries_exhausted: AtomicU64,
     dups_discarded: AtomicU64,
     acks: AtomicU64,
+    heartbeats: AtomicU64,
+    crash_drops: AtomicU64,
+    posthumous_drops: AtomicU64,
 }
 
 impl FabricStats {
@@ -54,6 +57,18 @@ impl FabricStats {
 
     pub(crate) fn note_ack(&self) {
         self.acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_heartbeat(&self) {
+        self.heartbeats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_crash_drop(&self) {
+        self.crash_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_posthumous_drop(&self) {
+        self.posthumous_drops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total logical messages sent through the fabric (excludes protocol
@@ -106,6 +121,23 @@ impl FabricStats {
     /// Acknowledgements sent by receivers.
     pub fn acks(&self) -> u64 {
         self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Heartbeat frames emitted by the failure-detection layer.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Wire transmissions destroyed because an endpoint had fail-stopped
+    /// (a dead image neither injects nor receives).
+    pub fn crash_drops(&self) -> u64 {
+        self.crash_drops.load(Ordering::Relaxed)
+    }
+
+    /// Frames discarded by the incarnation filter: traffic from a peer
+    /// already confirmed dead at that incarnation.
+    pub fn posthumous_drops(&self) -> u64 {
+        self.posthumous_drops.load(Ordering::Relaxed)
     }
 }
 

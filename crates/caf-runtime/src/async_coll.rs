@@ -240,7 +240,7 @@ impl Image {
     /// Blocks (with progress) until the asynchronous reduction's result is
     /// available here, and returns it.
     pub fn async_result(&self, handle: &AsyncScalar) -> i64 {
-        self.wait_until(|| handle.op.completion.reached(Stage::LocalData));
+        self.wait_until("collective", || handle.op.completion.reached(Stage::LocalData));
         self.with_inst(handle.key, |inst| {
             inst.red_taken = true;
             inst.red_result.expect("LocalData implies result")

@@ -47,7 +47,7 @@ impl Image {
                 .collect()
         };
         for c in must {
-            self.wait_until(|| c.reached(Stage::LocalData));
+            self.wait_until("cofence", || c.reached(Stage::LocalData));
         }
         // Garbage-collect everything that has reached local data
         // completion, whether we waited on it or it finished on its own.

@@ -59,10 +59,17 @@ impl Image {
         );
     }
 
-    fn coll_take<T: Any + Send>(&self, team: &Team, seq: u64, tg: u32, from: TeamRank) -> T {
+    fn coll_take<T: Any + Send>(
+        &self,
+        construct: &'static str,
+        team: &Team,
+        seq: u64,
+        tg: u32,
+        from: TeamRank,
+    ) -> T {
         let key = CollKey { team: team.id(), seq, tag: tg, from: from.0 };
         let mut out = None;
-        self.wait_until(|| {
+        self.wait_until(construct, || {
             if let Some(payload) = self.st.borrow_mut().coll_buf.remove(&key) {
                 out = Some(*payload.downcast::<T>().expect("collective payload type mismatch"));
                 true
@@ -89,7 +96,7 @@ impl Image {
         let rank = self.my_rank(team);
         for (round, (to, from)) in dissemination_peers(team.size(), rank).into_iter().enumerate() {
             self.coll_send(team, seq, tag::BARRIER + round as u32, to, ());
-            self.coll_take::<()>(team, seq, tag::BARRIER + round as u32, from);
+            self.coll_take::<()>("barrier", team, seq, tag::BARRIER + round as u32, from);
         }
     }
 
@@ -109,7 +116,13 @@ impl Image {
         let val = if rank == root {
             value.expect("broadcast root must supply a value")
         } else {
-            self.coll_take::<T>(team, seq, tag::BCAST, tree.parent(rank).expect("non-root"))
+            self.coll_take::<T>(
+                "collective",
+                team,
+                seq,
+                tag::BCAST,
+                tree.parent(rank).expect("non-root"),
+            )
         };
         for child in tree.children(rank) {
             self.coll_send(team, seq, tag::BCAST, child, val.clone());
@@ -129,7 +142,7 @@ impl Image {
         let tree = BinomialTree::new(team.size(), root);
         let mut acc = mine;
         for child in tree.children(rank) {
-            let v = self.coll_take::<T>(team, seq, tag::REDUCE, child);
+            let v = self.coll_take::<T>("collective", team, seq, tag::REDUCE, child);
             acc = op(acc, v);
         }
         match tree.parent(rank) {
@@ -200,7 +213,8 @@ impl Image {
         let tree = BinomialTree::new(team.size(), root);
         let mut acc: Vec<(usize, T)> = vec![(rank.0, mine)];
         for child in tree.children(rank) {
-            let sub = self.coll_take::<Vec<(usize, T)>>(team, seq, tag::GATHER, child);
+            let sub =
+                self.coll_take::<Vec<(usize, T)>>("collective", team, seq, tag::GATHER, child);
             acc.extend(sub);
         }
         match tree.parent(rank) {
@@ -250,7 +264,7 @@ impl Image {
             }
             mine.expect("own slot present")
         } else {
-            self.coll_take::<T>(team, seq, tag::SCATTER, root)
+            self.coll_take::<T>("collective", team, seq, tag::SCATTER, root)
         }
     }
 
@@ -273,7 +287,7 @@ impl Image {
                 if k == rank.0 {
                     own.take().expect("own slot present")
                 } else {
-                    self.coll_take::<T>(team, seq, tag::ALLTOALL, TeamRank(k))
+                    self.coll_take::<T>("collective", team, seq, tag::ALLTOALL, TeamRank(k))
                 }
             })
             .collect()
@@ -300,7 +314,13 @@ impl Image {
                 self.coll_send(team, seq, tag::SCAN + round, TeamRank(rank.0 + d), acc.clone());
             }
             if rank.0 >= d {
-                let left = self.coll_take::<T>(team, seq, tag::SCAN + round, TeamRank(rank.0 - d));
+                let left = self.coll_take::<T>(
+                    "collective",
+                    team,
+                    seq,
+                    tag::SCAN + round,
+                    TeamRank(rank.0 - d),
+                );
                 acc = op(left, acc);
             }
             d <<= 1;
@@ -366,7 +386,13 @@ impl Image {
         let mut result = own.take().expect("own bucket");
         for k in 0..n {
             if k != rank.0 {
-                result.extend(self.coll_take::<Vec<T>>(team, seq, tag::SORT_EXCHANGE, TeamRank(k)));
+                result.extend(self.coll_take::<Vec<T>>(
+                    "collective",
+                    team,
+                    seq,
+                    tag::SORT_EXCHANGE,
+                    TeamRank(k),
+                ));
             }
         }
         result.sort();

@@ -112,12 +112,12 @@ impl<T: Clone + Send + 'static> Sink<T> {
 impl Image {
     /// Blocks (with progress) until `op` is local data complete.
     pub fn wait_local_data(&self, op: &AsyncOp) {
-        self.wait_until(|| op.completion.reached(Stage::LocalData));
+        self.wait_until("copy", || op.completion.reached(Stage::LocalData));
     }
 
     /// Blocks (with progress) until `op` is local operation complete.
     pub fn wait_local_op(&self, op: &AsyncOp) {
-        self.wait_until(|| op.completion.reached(Stage::LocalOp));
+        self.wait_until("copy", || op.completion.reached(Stage::LocalOp));
     }
 
     /// `copy_async(dst[p1], src[p2], …)` between coarray slices. Either
@@ -187,7 +187,7 @@ impl Image {
             Some(p)
         } else {
             let cell = self.shared.event_tables[self.id().index()].cell(p.id.slot);
-            self.wait_until(|| cell.try_consume());
+            self.wait_until("copy", || cell.try_consume());
             None
         }
     }
@@ -342,7 +342,7 @@ impl Image {
             }
         });
         self.send_am(src_owner, REQ_BYTES, false, None, request);
-        self.wait_until(|| comp.reached(Stage::LocalOp));
+        self.wait_until("copy", || comp.reached(Stage::LocalOp));
         Arc::try_unwrap(out)
             .map(|m| m.into_inner())
             .unwrap_or_else(|a| a.lock().clone())

@@ -52,13 +52,20 @@ impl Image {
         // Termination-detection loop (Fig. 7).
         let mut waves = 0usize;
         loop {
-            self.wait_until(|| self.with_frame(fid, |d| d.ready()));
+            self.wait_until("finish", || self.with_frame(fid, |d| d.ready()));
             let contribution = self.with_frame(fid, |d| d.enter_wave());
             let sum = self.allreduce(team, contribution, |a, b| [a[0] + b[0], a[1] + b[1]]);
             waves += 1;
-            let decision = self.with_frame(fid, |d| d.exit_wave(sum));
-            if decision == WaveDecision::Terminated {
-                break;
+            match self.with_frame(fid, |d| d.exit_wave(sum)) {
+                WaveDecision::Terminated => break,
+                WaveDecision::Continue => {}
+                // A member died: the block can never complete. Normally
+                // the failure aborts this image inside the allreduce;
+                // this arm catches a poison that landed between waves.
+                WaveDecision::Poisoned => {
+                    self.check_failure("finish");
+                    unreachable!("poisoned finish without a registered failure");
+                }
             }
         }
         {

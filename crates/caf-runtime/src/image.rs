@@ -21,6 +21,7 @@ use caf_net::CommPump;
 use crate::coarray::Coarray;
 use crate::completion::{Completion, Stage};
 use crate::event::{CoEvent, Event};
+use crate::failure::{CrashUnwind, FailUnwind, ImageFailureObservation, FIRST_INCARNATION};
 use crate::msg::{Am, AmFn, FinishTag, Msg};
 use crate::runtime::Shared;
 use crate::state::{FinishFrame, ImageState, PendingOp};
@@ -97,10 +98,13 @@ impl Image {
         any
     }
 
-    /// Polls progress until `pred` holds, parking between polls. Under a
-    /// configured watchdog each park iteration also files a progress
-    /// observation; a declared stall aborts the wait (and the image).
-    pub(crate) fn wait_until(&self, mut pred: impl FnMut() -> bool) {
+    /// Polls progress until `pred` holds, parking between polls.
+    /// `construct` names the blocking construct for failure diagnostics.
+    /// Under a configured watchdog each park iteration also files a
+    /// progress observation; a declared stall aborts the wait (and the
+    /// image), and a confirmed image failure does the same with a richer
+    /// verdict.
+    pub(crate) fn wait_until(&self, construct: &'static str, mut pred: impl FnMut() -> bool) {
         let wd = self.shared.watchdog.as_ref();
         let _blocked = wd.map(|w| w.enter_wait());
         loop {
@@ -108,10 +112,102 @@ impl Image {
             if pred() {
                 return;
             }
+            self.check_failure(construct);
             if let Some(w) = wd {
                 self.check_watchdog(w);
             }
             self.shared.fabric.wait_activity(self.me, Instant::now() + MAX_PARK);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fail-stop failure handling
+    // ------------------------------------------------------------------
+
+    /// Polls the fabric's failure detector and reacts: a confirmed peer
+    /// death is posted to the hub (first observer owns the team-wide
+    /// `ImageDown` broadcast) and then aborts this image's blocking
+    /// construct; a crash fault aimed at *this* image fail-stops its
+    /// thread — silently, as fail-stop demands: survivors must detect the
+    /// death, the victim does not announce it.
+    pub(crate) fn check_failure(&self, construct: &'static str) {
+        let Some(hub) = &self.shared.failure else { return };
+        if self.shared.fabric.is_crashed(self.me) {
+            std::panic::resume_unwind(Box::new(CrashUnwind));
+        }
+        for down in self.shared.fabric.poll_failures(self.me) {
+            if hub.post(down.peer, down.incarnation, down.latency) {
+                self.broadcast_down(down.peer, down.incarnation);
+            }
+        }
+        if hub.poisoned() {
+            self.abort_for_failure(construct);
+        }
+    }
+
+    /// Tells every other survivor about a confirmed death, riding the
+    /// reliable ack/retry sublayer (the in-process hub already knows; the
+    /// wire broadcast keeps the protocol honest under message loss).
+    fn broadcast_down(&self, image: usize, incarnation: u64) {
+        for i in 0..self.shared.n {
+            if i == self.me.index() || i == image {
+                continue;
+            }
+            self.shared.fabric.send_unthrottled(
+                self.me,
+                ImageId(i),
+                CTRL_BYTES,
+                Msg::ImageDown { image, incarnation },
+            );
+        }
+    }
+
+    /// Aborts this image after a confirmed failure: poisons every open
+    /// finish epoch (their waves can never close with a dead member),
+    /// releases the whole team, files this image's parting observation,
+    /// and unwinds.
+    fn abort_for_failure(&self, construct: &'static str) -> ! {
+        let hub = self.shared.failure.as_ref().expect("failure abort without a hub");
+        if let Some(down) = hub.down() {
+            let mut st = self.st.borrow_mut();
+            for frame in st.finish_frames.values_mut() {
+                frame.detector.poison(down.peer);
+            }
+        }
+        // Halt first: flow control stops parking senders, so the comm
+        // thread (joined when `self.pump` drops during unwind) and peers
+        // blocked in sends all become runnable.
+        self.shared.fabric.halt();
+        for i in 0..self.shared.n {
+            self.shared.fabric.poke(ImageId(i));
+        }
+        hub.contribute(ImageFailureObservation {
+            image: self.me.index(),
+            construct,
+            finishes: self.finish_diags(),
+        });
+        std::panic::resume_unwind(Box::new(FailUnwind));
+    }
+
+    /// Fail-stop at the image boundary: the closure panicked. Records the
+    /// panic message, posts the death (the boundary *is* the detector
+    /// here — zero latency), broadcasts it before this image's traffic is
+    /// silenced, then silences it.
+    pub(crate) fn die_of_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let hub = self.shared.failure.as_ref().expect("panic boundary without a hub");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned());
+        if let Some(m) = msg {
+            hub.set_panic(m);
+        }
+        if hub.post(self.me.index(), FIRST_INCARNATION, Some(Duration::ZERO)) {
+            self.broadcast_down(self.me.index(), FIRST_INCARNATION);
+        }
+        self.shared.fabric.mark_crashed(self.me);
+        for i in 0..self.shared.n {
+            self.shared.fabric.poke(ImageId(i));
         }
     }
 
@@ -146,8 +242,9 @@ impl Image {
         std::panic::resume_unwind(Box::new(StallUnwind));
     }
 
-    /// Snapshot of this image's runtime state for the stall diagnostic.
-    fn stall_report(&self) -> ImageStallReport {
+    /// Last-known epoch counters of every finish block this image has
+    /// touched (shared by the stall and failure diagnostics).
+    fn finish_diags(&self) -> Vec<FinishDiag> {
         let st = self.st.borrow();
         let mut finishes: Vec<FinishDiag> = st
             .finish_frames
@@ -166,6 +263,13 @@ impl Image {
             })
             .collect();
         finishes.sort_by_key(|d| d.finish);
+        finishes
+    }
+
+    /// Snapshot of this image's runtime state for the stall diagnostic.
+    fn stall_report(&self) -> ImageStallReport {
+        let finishes = self.finish_diags();
+        let st = self.st.borrow();
         ImageStallReport {
             image: self.me.index(),
             inbox_depth: self.shared.fabric.inbox_depth(self.me),
@@ -189,6 +293,16 @@ impl Image {
                 debug_assert!(prev.is_none(), "duplicate collective hop {:?}", c.key);
             }
             Msg::Complete { completion, stage } => completion.advance(stage),
+            Msg::ImageDown { image, incarnation } => {
+                if let Some(hub) = &self.shared.failure {
+                    hub.post(image, incarnation, None);
+                    self.shared.fabric.mark_peer_dead(self.me, image, incarnation);
+                    let mut st = self.st.borrow_mut();
+                    for frame in st.finish_frames.values_mut() {
+                        frame.detector.poison(image);
+                    }
+                }
+            }
         }
     }
 
@@ -293,6 +407,10 @@ impl Image {
         completion_event: Option<EventId>,
         func: AmFn,
     ) {
+        // Even a sender that never blocks must notice a confirmed failure
+        // (or its own crash flag) — without this, a crashed image that
+        // keeps injecting would never fail-stop.
+        self.check_failure("send");
         let tag = self.am_tag();
         let mut msg = Msg::Am(Am { func, sender: self.me, finish: tag, completion_event, user });
         let wd = self.shared.watchdog.as_ref();
@@ -302,6 +420,7 @@ impl Image {
                 Ok(()) => return,
                 Err(back) => {
                     msg = back;
+                    self.check_failure("send");
                     if let Some(w) = wd {
                         blocked.get_or_insert_with(|| w.enter_wait());
                         self.check_watchdog(w);
@@ -400,7 +519,7 @@ impl Image {
     pub fn event_wait(&self, ev: Event) {
         assert_eq!(ev.owner(), self.me, "event_wait requires a locally owned event");
         let cell = self.shared.event_tables[self.me.index()].cell(ev.id.slot);
-        self.wait_until(|| cell.try_consume());
+        self.wait_until("event_wait", || cell.try_consume());
     }
 
     /// Non-blocking `event_wait`: consumes a notification if one is
@@ -487,8 +606,11 @@ impl Image {
         // itself retired, on retry-budget exhaustion — either way the
         // loop is bounded.
         if self.shared.fabric.faults_active() {
-            self.wait_until(|| self.shared.fabric.retry_backlog(self.me) == 0);
+            self.wait_until("shutdown", || self.shared.fabric.retry_backlog(self.me) == 0);
         }
+        // Clean exit: stop being monitored, so this image's post-return
+        // silence is never mistaken for a crash.
+        self.shared.fabric.retire(self.me);
     }
 }
 

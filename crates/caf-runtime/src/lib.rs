@@ -41,6 +41,7 @@ mod collective;
 pub mod completion;
 pub mod copy;
 pub mod event;
+pub mod failure;
 mod finish;
 pub mod image;
 pub mod msg;
@@ -51,6 +52,7 @@ pub mod watchdog;
 pub use async_coll::{AsyncCollEvents, AsyncScalar};
 pub use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
 pub use caf_core::config::{CommMode, NetworkModel, RuntimeConfig};
+pub use caf_core::failure::FailureParams;
 pub use caf_core::fault::{FaultPlan, RetryPolicy, StallWindow};
 pub use caf_core::ids::{EventId, ImageId, TeamRank};
 pub use caf_core::topology::Team;
@@ -58,6 +60,7 @@ pub use coarray::{CoSlice, Coarray, LocalArray};
 pub use completion::Stage;
 pub use copy::{AsyncOp, CopyEvents};
 pub use event::{CoEvent, Event};
+pub use failure::{FailureReport, ImageFailureObservation};
 pub use image::Image;
 pub use runtime::Runtime;
 pub use watchdog::{FinishDiag, ImageStallReport, RuntimeError, StallReport};

@@ -101,6 +101,15 @@ pub enum Msg {
         /// Stage reached.
         stage: crate::completion::Stage,
     },
+    /// Team-wide failure notification: the sender has confirmed that
+    /// `image` fail-stopped. Rides the reliable ack/retry sublayer so
+    /// every survivor learns of the death even under message loss.
+    ImageDown {
+        /// The dead image's rank.
+        image: usize,
+        /// Its incarnation at death.
+        incarnation: u64,
+    },
 }
 
 impl std::fmt::Debug for Msg {
@@ -118,6 +127,11 @@ impl std::fmt::Debug for Msg {
             Msg::Complete { stage, .. } => {
                 f.debug_struct("Complete").field("stage", stage).finish_non_exhaustive()
             }
+            Msg::ImageDown { image, incarnation } => f
+                .debug_struct("ImageDown")
+                .field("image", image)
+                .field("incarnation", incarnation)
+                .finish(),
         }
     }
 }

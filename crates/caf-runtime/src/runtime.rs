@@ -6,11 +6,13 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use caf_core::config::RuntimeConfig;
+use caf_core::fault::FaultPlan;
 use caf_core::ids::{ImageId, TeamId};
 use caf_net::Fabric;
 use parking_lot::Mutex;
 
 use crate::event::EventTable;
+use crate::failure::{CrashUnwind, FailUnwind, FailureHub, FailureReport};
 use crate::image::Image;
 use crate::msg::Msg;
 use crate::watchdog::{RuntimeError, StallReport, StallUnwind, Watchdog};
@@ -39,6 +41,8 @@ pub(crate) struct Shared {
     pub next_team: AtomicU64,
     /// The no-progress watchdog, when `cfg.watchdog` configures one.
     pub watchdog: Option<Watchdog>,
+    /// The failure hub, when `cfg.failure` engages fail-stop detection.
+    pub failure: Option<FailureHub>,
 }
 
 /// Entry point for the threaded CAF 2.0 runtime.
@@ -70,13 +74,17 @@ impl Runtime {
 
     /// [`Runtime::launch`], but a stall detected by the configured
     /// no-progress watchdog (`cfg.watchdog`) comes back as
-    /// [`RuntimeError::Stalled`] carrying the full diagnostic dump instead
-    /// of a panic. Without a watchdog this never returns `Err` (a genuine
-    /// hang stays a hang — there is nothing watching).
+    /// [`RuntimeError::Stalled`], and — with failure detection engaged
+    /// (`cfg.failure`) — a fail-stopped image (crash fault or uncaught
+    /// panic in the closure) comes back as [`RuntimeError::ImageFailed`]
+    /// from *every* surviving image's perspective, instead of a panic or
+    /// a hang. Without a watchdog or failure detection this never returns
+    /// `Err` (a genuine hang stays a hang — there is nothing watching).
     ///
     /// # Panics
     /// Panics if `n == 0` or any image panics for a reason other than a
-    /// declared stall.
+    /// declared stall or detected failure (panics are translated into
+    /// `ImageFailed` only when `cfg.failure` is engaged).
     pub fn try_launch<R, F>(n: usize, cfg: RuntimeConfig, f: F) -> Result<Vec<R>, RuntimeError>
     where
         R: Send,
@@ -94,13 +102,21 @@ impl Runtime {
             "CommMode::Inline requires inbox_capacity: None (see CommMode docs); \
              use CommMode::DedicatedThread with bounded inboxes"
         );
-        // A fault plan routes all traffic through the ack/retry sublayer;
-        // otherwise the wire is lossless and the fabric stays raw.
-        let fabric = match cfg.faults.clone() {
-            Some(plan) => {
-                Fabric::with_faults(n, cfg.network.clone(), cfg.non_fifo, plan, cfg.retry.clone())
-            }
-            None => Fabric::new(n, cfg.network.clone(), cfg.non_fifo),
+        // A fault plan or failure detection routes all traffic through the
+        // ack/retry sublayer; otherwise the wire is lossless and the
+        // fabric stays raw.
+        let fabric = if cfg.faults.is_some() || cfg.failure.is_some() {
+            let plan = cfg.faults.clone().unwrap_or_else(|| FaultPlan::none(cfg.seed));
+            Fabric::with_chaos(
+                n,
+                cfg.network.clone(),
+                cfg.non_fifo,
+                plan,
+                cfg.retry.clone(),
+                cfg.failure.clone(),
+            )
+        } else {
+            Fabric::new(n, cfg.network.clone(), cfg.non_fifo)
         };
         let shared = Arc::new(Shared {
             fabric,
@@ -110,6 +126,7 @@ impl Runtime {
             team_ids: Mutex::new(HashMap::new()),
             next_team: AtomicU64::new(1),
             watchdog: cfg.watchdog.map(|window| Watchdog::new(window, n)),
+            failure: cfg.failure.as_ref().map(|_| FailureHub::new()),
             cfg,
         });
         let joined: Vec<Result<R, Box<dyn Any + Send>>> = std::thread::scope(|scope| {
@@ -122,9 +139,33 @@ impl Runtime {
                         .spawn_scoped(scope, move || {
                             let _live = shared.watchdog.as_ref().map(|w| w.live_guard());
                             let img = Image::new(Arc::clone(&shared), ImageId(i));
-                            let r = f(&img);
-                            img.shutdown();
-                            r
+                            if shared.failure.is_none() {
+                                let r = f(&img);
+                                img.shutdown();
+                                return r;
+                            }
+                            // Fail-stop boundary: an uncaught panic in the
+                            // closure kills this image, not the launch —
+                            // survivors drain and the caller gets a
+                            // FailureReport. Runtime unwind payloads pass
+                            // through untranslated.
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&img)))
+                            {
+                                Ok(r) => {
+                                    img.shutdown();
+                                    r
+                                }
+                                Err(payload) => {
+                                    if payload.is::<StallUnwind>()
+                                        || payload.is::<FailUnwind>()
+                                        || payload.is::<CrashUnwind>()
+                                    {
+                                        std::panic::resume_unwind(payload);
+                                    }
+                                    img.die_of_panic(&*payload);
+                                    std::panic::resume_unwind(Box::new(CrashUnwind));
+                                }
+                            }
                         })
                         .expect("spawning image thread")
                 })
@@ -133,15 +174,40 @@ impl Runtime {
         });
         let mut out = Vec::with_capacity(n);
         let mut stalled = false;
+        let mut failed = false;
         for r in joined {
             match r {
                 Ok(v) => out.push(v),
                 Err(payload) if payload.is::<StallUnwind>() => stalled = true,
+                Err(payload) if payload.is::<FailUnwind>() || payload.is::<CrashUnwind>() => {
+                    failed = true;
+                }
                 // A genuine panic (assertion failure, user bug) outranks a
                 // stall: peers unwound via StallUnwind only because the
                 // panicking image stopped participating.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
+        }
+        if failed {
+            // An image failure outranks a stall: survivors that stalled out
+            // did so because the dead image stopped participating.
+            let hub = shared.failure.as_ref().expect("failure unwind without a failure hub");
+            let down = hub.down().expect("failure unwind without a registered death");
+            let stats = shared.fabric.stats();
+            // Team-wide drain: discard in-flight traffic addressed to
+            // threads that no longer exist, so teardown never blocks.
+            let drained = shared.fabric.drain_inboxes();
+            return Err(RuntimeError::ImageFailed(FailureReport {
+                image: down.peer,
+                incarnation: down.incarnation,
+                detection_latency: down.latency,
+                panic: hub.take_panic(),
+                observers: hub.take_observations(),
+                crash_drops: stats.crash_drops(),
+                posthumous_drops: stats.posthumous_drops(),
+                heartbeats: stats.heartbeats(),
+                drained,
+            }));
         }
         if stalled {
             let wd = shared.watchdog.as_ref().expect("stall unwind without a watchdog");
@@ -154,6 +220,8 @@ impl Runtime {
                 retries: stats.retries(),
                 retries_exhausted: stats.retries_exhausted(),
                 wire_drops: stats.wire_drops(),
+                wire_dups: stats.wire_dups(),
+                dups_discarded: stats.dups_discarded(),
             }));
         }
         Ok(out)

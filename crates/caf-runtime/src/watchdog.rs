@@ -86,6 +86,10 @@ pub struct StallReport {
     pub retries_exhausted: u64,
     /// Fabric totals: wire messages destroyed by fault injection.
     pub wire_drops: u64,
+    /// Fabric totals: wire messages duplicated by fault injection.
+    pub wire_dups: u64,
+    /// Fabric totals: duplicate deliveries filtered by receiver dedup.
+    pub dups_discarded: u64,
 }
 
 impl fmt::Display for StallReport {
@@ -93,13 +97,15 @@ impl fmt::Display for StallReport {
         writeln!(
             f,
             "no progress for {:?}: fabric sent {} / delivered {} (retries {}, \
-             exhausted {}, wire drops {})",
+             exhausted {}, wire drops {}, dups {} injected / {} discarded)",
             self.window,
             self.messages,
             self.delivered,
             self.retries,
             self.retries_exhausted,
-            self.wire_drops
+            self.wire_drops,
+            self.wire_dups,
+            self.dups_discarded
         )?;
         for img in &self.images {
             writeln!(
@@ -125,6 +131,10 @@ pub enum RuntimeError {
     /// The no-progress watchdog fired: no image made progress for the
     /// configured window. Carries the full diagnostic dump.
     Stalled(StallReport),
+    /// An image fail-stopped (crash fault or uncaught panic) and the
+    /// failure detector confirmed it. Carries which image died, the
+    /// detection latency, and every survivor's parting observation.
+    ImageFailed(crate::failure::FailureReport),
 }
 
 impl fmt::Display for RuntimeError {
@@ -132,6 +142,9 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Stalled(report) => {
                 write!(f, "runtime stalled — {report}")
+            }
+            RuntimeError::ImageFailed(report) => {
+                write!(f, "image failure — {report}")
             }
         }
     }
@@ -314,6 +327,8 @@ mod tests {
             retries: 12,
             retries_exhausted: 1,
             wire_drops: 6,
+            wire_dups: 4,
+            dups_discarded: 3,
         };
         let text = RuntimeError::Stalled(report).to_string();
         for needle in [
@@ -324,6 +339,7 @@ mod tests {
             "sent 5",
             "7 waves",
             "exhausted 1",
+            "dups 4 injected / 3 discarded",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

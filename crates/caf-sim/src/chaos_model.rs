@@ -2,10 +2,12 @@
 //!
 //! The threaded runtime can only chaos-test a handful of images; this
 //! model replays the *same* protocol stack — [`FaultPlan`] fault rolls,
-//! ack/retry reliable delivery with [`SeqTracker`] dedup, and the strict
-//! epoch termination detector via [`FinishSim`] — as discrete events, so
-//! the exactly-once and never-terminate-early properties can be checked
-//! at the paper's 4K+ image counts in milliseconds.
+//! ack/retry reliable delivery with [`SeqTracker`] dedup, the strict
+//! epoch termination detector via [`FinishSim`], and (when engaged) the
+//! fail-stop [`FailureDetectorState`] — as discrete events, so the
+//! exactly-once, never-terminate-early, and every-survivor-observes
+//! properties can be checked at the paper's 4K+ image counts in
+//! milliseconds.
 //!
 //! One `finish` block is simulated: every image issues its spawns, the
 //! wire drops/duplicates/delays them per the plan, the reliable layer
@@ -14,9 +16,24 @@
 //! budget leaves the detector permanently unready, the event queue
 //! drains, and the run reports [`ChaosOutcome::Stalled`] — the virtual
 //! twin of the runtime watchdog's `RuntimeError::Stalled`.
+//!
+//! With [`ChaosSimConfig::failure`] engaged the model mirrors the
+//! threaded fabric's fail-stop layer: every image heartbeats its ring
+//! monitor (image `i` watches `i+1`, `O(p)` links total), a scheduled
+//! `Crash { image, at_seq }` fires on the same global wire-sequence
+//! keying as `caf-net`, silence (or retry exhaustion) drives the
+//! suspect → confirm two-phase detector, and the first confirmation
+//! broadcasts a team-wide `Down` message over the reliable sublayer.
+//! Every survivor that learns the death poisons its epoch detector; the
+//! poisoned wave closes without the victim and the run reports
+//! [`ChaosOutcome::Failed`] — the virtual twin of
+//! `RuntimeError::ImageFailed` — naming the victim, the detection
+//! latency, and exactly which images observed the failure.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
+use caf_core::failure::{FailureDetectorState, FailureEvent, FailureParams};
 use caf_core::fault::{FaultPlan, RetryPolicy, SeqTracker};
 use caf_core::ids::Parity;
 use caf_core::rng::SplitMix64;
@@ -27,6 +44,12 @@ use crate::finish_sim::FinishSim;
 
 /// Simulated size of a protocol acknowledgement (mirrors `caf-net`).
 const ACK_BYTES: usize = 16;
+/// Simulated size of a heartbeat or `Down` control message.
+const CTRL_BYTES: usize = 16;
+/// Every simulated image runs at its first incarnation (restart is not
+/// modelled here; the number exists so posthumous filtering exercises
+/// the same `accepts` check as the threaded fabric).
+const FIRST_INCARNATION: u64 = 1;
 
 /// Parameters of one simulated chaos run.
 #[derive(Debug, Clone)]
@@ -45,11 +68,15 @@ pub struct ChaosSimConfig {
     pub plan: FaultPlan,
     /// Ack/retransmit policy answering the plan.
     pub retry: RetryPolicy,
+    /// Fail-stop failure detection (ring heartbeats + suspect/confirm),
+    /// when engaged. `None` keeps the legacy behaviour: a dead image
+    /// manifests only as a stall.
+    pub failure: Option<FailureParams>,
 }
 
 impl ChaosSimConfig {
     /// Defaults: 2 spawns per image, 64-byte payloads, a jittery
-    /// (non-FIFO) Gemini-class network, no faults.
+    /// (non-FIFO) Gemini-class network, no faults, no failure detection.
     pub fn new(images: usize) -> Self {
         ChaosSimConfig {
             images,
@@ -59,6 +86,7 @@ impl ChaosSimConfig {
             net: SimNet::from_model(&caf_core::config::NetworkModel::gemini_like(), true),
             plan: FaultPlan::none(0x5EED),
             retry: RetryPolicy::default(),
+            failure: None,
         }
     }
 }
@@ -80,6 +108,24 @@ pub enum ChaosOutcome {
         /// Spawns never acknowledged back to their senders.
         undelivered: u64,
     },
+    /// An image was confirmed dead: the survivors poisoned their epoch
+    /// detectors and collectively aborted the `finish` — the virtual
+    /// twin of `RuntimeError::ImageFailed`.
+    Failed {
+        /// Virtual time when the survivors' poisoned wave closed (the
+        /// collective abort), or of the last event if the wave could
+        /// not close.
+        sim_ns: u64,
+        /// Virtual time from the crash firing on the wire to the first
+        /// confirmation. `None` when no crash fault fired (a peer
+        /// declared dead on timeout evidence alone has no known
+        /// crash origin).
+        detect_ns: Option<u64>,
+        /// The image confirmed dead.
+        victim: usize,
+        /// Its incarnation at death.
+        incarnation: u64,
+    },
 }
 
 /// Counters from one simulated chaos run. Pure function of the config —
@@ -90,7 +136,7 @@ pub struct ChaosSimReport {
     pub outcome: ChaosOutcome,
     /// Spawns issued.
     pub sent: u64,
-    /// Fresh (first-copy) deliveries at receivers.
+    /// Fresh (first-copy) spawn deliveries at receivers.
     pub delivered: u64,
     /// Redundant copies suppressed by sequence dedup (injected
     /// duplicates plus retransmits that raced their ack).
@@ -101,13 +147,34 @@ pub struct ChaosSimReport {
     pub retries: u64,
     /// Messages abandoned after the retry budget.
     pub retries_exhausted: u64,
+    /// Heartbeats put on the wire.
+    pub heartbeats: u64,
+    /// Transmissions destroyed because an endpoint was crashed.
+    pub crash_drops: u64,
+    /// Arrivals discarded by the posthumous incarnation filter.
+    pub posthumous_drops: u64,
+    /// Suspicions raised across every image's detector.
+    pub suspects: u64,
+    /// Suspicions later refuted by a life sign (false positives).
+    pub false_suspects: u64,
+    /// Images that observed the death (poisoned their finish), ascending.
+    pub observers: Vec<usize>,
+}
+
+/// What a reliably-delivered message carries.
+#[derive(Debug, Clone, Copy)]
+enum Payload {
+    /// An asynchronous spawn, counted by the termination detector.
+    Spawn { tag: Parity },
+    /// A death notice — control traffic outside the finish epochs.
+    Down { victim: usize, incarnation: u64 },
 }
 
 enum Ev {
     /// Sender puts (another) copy of `link_seq` on the wire.
     Xmit { from: usize, to: usize, link_seq: u64 },
     /// A copy arrives at `to`.
-    Data { from: usize, to: usize, link_seq: u64, tag: Parity },
+    Data { from: usize, to: usize, link_seq: u64, payload: Payload },
     /// An acknowledgement arrives back at `to` (the original sender).
     Ack { from: usize, to: usize, link_seq: u64 },
     /// A delivered spawn's handler finishes at `img`.
@@ -116,10 +183,27 @@ enum Ev {
     RetryTimeout { from: usize, to: usize, link_seq: u64 },
     /// The open reduction wave closes.
     WaveComplete,
+    /// `img` puts a heartbeat to its ring monitor on the wire (recurring).
+    HeartbeatSend { img: usize },
+    /// A heartbeat from `from` lands at its monitor `to`.
+    HeartbeatArrive { to: usize, from: usize },
+    /// `img` advances its failure detector's deadlines (recurring).
+    DetectorTick { img: usize },
+}
+
+impl Ev {
+    /// Protocol progress (as opposed to recurring maintenance): while any
+    /// of these are pending the heartbeat/tick chains keep running.
+    fn is_live(&self) -> bool {
+        !matches!(
+            self,
+            Ev::HeartbeatSend { .. } | Ev::HeartbeatArrive { .. } | Ev::DetectorTick { .. }
+        )
+    }
 }
 
 struct Pending {
-    tag: Parity,
+    payload: Payload,
     attempts: u32,
 }
 
@@ -132,8 +216,31 @@ struct ChaosSim {
     /// `trackers[receiver][sender]` — exactly-once filter per link.
     trackers: Vec<Vec<SeqTracker>>,
     outstanding: HashMap<(usize, usize, u64), Pending>,
+    /// Next per-link sequence number (spawns and Down notices share the
+    /// space, exactly like the fabric's per-sender counters).
+    next_link_seq: Vec<Vec<u64>>,
     wire_seq: u64,
     acked: u64,
+    /// The crash schedule, copied out of the plan.
+    crash_sched: Vec<(usize, u64)>,
+    crashed: Vec<bool>,
+    /// Virtual time the (first) crash fired — detection-latency base.
+    crashed_at_ns: Option<u64>,
+    /// One failure detector per image when `cfg.failure` is engaged.
+    detectors: Vec<FailureDetectorState>,
+    hb_period_ns: u64,
+    /// How long maintenance (heartbeats/ticks) outlives the last live
+    /// event: one detection horizon, so a pending suspicion can still
+    /// confirm, then the queue is allowed to drain.
+    horizon_ns: u64,
+    /// First confirmed death `(victim, incarnation)`.
+    down: Option<(usize, u64)>,
+    first_confirm_ns: Option<u64>,
+    down_broadcast: bool,
+    observed: Vec<bool>,
+    poisoned_close_ns: Option<u64>,
+    live_pending: usize,
+    idle_deadline_ns: u64,
     report: ChaosSimReport,
 }
 
@@ -142,16 +249,51 @@ impl ChaosSim {
         let p = cfg.images;
         let wire = ChaosWire::new(cfg.plan.clone(), cfg.retry.clone());
         let rng = SplitMix64::new(cfg.plan.seed ^ 0xC4A0_5EED);
+        let crash_sched: Vec<(usize, u64)> =
+            cfg.plan.crashes.iter().map(|c| (c.image, c.at_seq)).collect();
+        let detectors: Vec<FailureDetectorState> = match &cfg.failure {
+            Some(params) => (0..p)
+                .map(|i| {
+                    let mut d = FailureDetectorState::new(params.clone());
+                    if p > 1 {
+                        // Ring monitoring: O(p) watched links in total.
+                        d.monitor((i + 1) % p, Duration::ZERO);
+                    }
+                    d
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let (hb_period_ns, horizon_ns) = match &cfg.failure {
+            Some(f) => (
+                (f.heartbeat_period.as_nanos() as u64).max(1),
+                (f.detection_horizon() + f.heartbeat_period * 2).as_nanos() as u64,
+            ),
+            None => (0, 0),
+        };
         ChaosSim {
-            cfg,
             wire,
             rng,
             engine: Engine::new(),
             fsim: FinishSim::new(p, true),
             trackers: (0..p).map(|_| vec![SeqTracker::default(); p]).collect(),
             outstanding: HashMap::new(),
+            next_link_seq: vec![vec![0u64; p]; p],
             wire_seq: 0,
             acked: 0,
+            crash_sched,
+            crashed: vec![false; p],
+            crashed_at_ns: None,
+            detectors,
+            hb_period_ns,
+            horizon_ns,
+            down: None,
+            first_confirm_ns: None,
+            down_broadcast: false,
+            observed: vec![false; p],
+            poisoned_close_ns: None,
+            live_pending: 0,
+            idle_deadline_ns: 0,
             report: ChaosSimReport {
                 outcome: ChaosOutcome::Stalled { undelivered: 0 },
                 sent: 0,
@@ -160,7 +302,54 @@ impl ChaosSim {
                 wire_drops: 0,
                 retries: 0,
                 retries_exhausted: 0,
+                heartbeats: 0,
+                crash_drops: 0,
+                posthumous_drops: 0,
+                suspects: 0,
+                false_suspects: 0,
+                observers: Vec::new(),
             },
+            cfg,
+        }
+    }
+
+    fn failure_on(&self) -> bool {
+        !self.detectors.is_empty()
+    }
+
+    fn now_d(&self) -> Duration {
+        Duration::from_nanos(self.engine.now())
+    }
+
+    fn schedule_live(&mut self, delay: u64, ev: Ev) {
+        self.live_pending += 1;
+        self.engine.schedule(delay, ev);
+    }
+
+    fn schedule_live_at(&mut self, at: u64, ev: Ev) {
+        self.live_pending += 1;
+        self.engine.schedule_at(at, ev);
+    }
+
+    /// Whether recurring maintenance (heartbeats, detector ticks) should
+    /// keep itself alive: protocol work is pending, or the post-idle
+    /// grace window (one detection horizon) is still open.
+    fn maintenance_live(&self) -> bool {
+        self.live_pending > 0 || self.engine.now() < self.idle_deadline_ns
+    }
+
+    /// Scheduled crashes fire on the first transmission at or past their
+    /// trigger sequence — the same wire-seq keying the threaded fabric
+    /// uses, so a crash point reproduces across substrates.
+    fn arm_crashes(&mut self, seq: u64) {
+        for k in 0..self.crash_sched.len() {
+            let (image, at_seq) = self.crash_sched[k];
+            if seq >= at_seq && !self.crashed[image] {
+                self.crashed[image] = true;
+                if self.crashed_at_ns.is_none() {
+                    self.crashed_at_ns = Some(self.engine.now());
+                }
+            }
         }
     }
 
@@ -168,9 +357,25 @@ impl ChaosSim {
     /// fault decision, schedules the arrival(s), and arms the ack timer.
     fn transmit(&mut self, from: usize, to: usize, link_seq: u64) {
         let Some(p) = self.outstanding.get(&(from, to, link_seq)) else { return };
-        let (tag, attempts) = (p.tag, p.attempts);
-        let d = self.wire.decide(from, to, self.wire_seq);
+        let (payload, attempts) = (p.payload, p.attempts);
+        let seq = self.wire_seq;
         self.wire_seq += 1;
+        self.arm_crashes(seq);
+        // Fail-stop: a dead image neither injects nor receives; the
+        // arming transmission itself is destroyed. A live sender still
+        // re-arms its ack timer — exhausting the budget against a dead
+        // target is the retry layer's detection signal.
+        if self.crashed[from] || self.crashed[to] {
+            self.report.crash_drops += 1;
+            if !self.crashed[from] {
+                self.schedule_live(
+                    self.wire.timeout_ns(attempts),
+                    Ev::RetryTimeout { from, to, link_seq },
+                );
+            }
+            return;
+        }
+        let d = self.wire.decide(from, to, seq);
         let now = self.engine.now();
         let extra = self.wire.spike_ns(d) + self.wire.stall_extra_ns(from, to, now);
         let copies = match (d.drop, d.duplicate) {
@@ -183,16 +388,21 @@ impl ChaosSim {
         }
         for _ in 0..copies {
             let delay = self.cfg.net.delivery_delay(self.cfg.bytes, &mut self.rng) + extra;
-            self.engine.schedule(delay, Ev::Data { from, to, link_seq, tag });
+            self.schedule_live(delay, Ev::Data { from, to, link_seq, payload });
         }
-        self.engine
-            .schedule(self.wire.timeout_ns(attempts), Ev::RetryTimeout { from, to, link_seq });
+        self.schedule_live(self.wire.timeout_ns(attempts), Ev::RetryTimeout { from, to, link_seq });
     }
 
     /// Sends an acknowledgement, itself subject to the fault plan.
     fn send_ack(&mut self, receiver: usize, sender: usize, link_seq: u64) {
-        let d = self.wire.decide(receiver, sender, self.wire_seq);
+        let seq = self.wire_seq;
         self.wire_seq += 1;
+        self.arm_crashes(seq);
+        if self.crashed[receiver] || self.crashed[sender] {
+            self.report.crash_drops += 1;
+            return;
+        }
+        let d = self.wire.decide(receiver, sender, seq);
         if d.drop {
             self.report.wire_drops += 1;
             return;
@@ -200,15 +410,103 @@ impl ChaosSim {
         let extra =
             self.wire.spike_ns(d) + self.wire.stall_extra_ns(receiver, sender, self.engine.now());
         let delay = self.cfg.net.delivery_delay(ACK_BYTES, &mut self.rng) + extra;
-        self.engine.schedule(delay, Ev::Ack { from: receiver, to: sender, link_seq });
+        self.schedule_live(delay, Ev::Ack { from: receiver, to: sender, link_seq });
+    }
+
+    /// One heartbeat from `img` to its ring monitor; reschedules itself
+    /// while maintenance is live. A crashed image falls silent — that
+    /// silence *is* the detection signal.
+    fn heartbeat(&mut self, img: usize) {
+        if self.crashed[img] {
+            return;
+        }
+        let p = self.cfg.images;
+        let to = (img + p - 1) % p; // my monitor is my ring predecessor
+        let seq = self.wire_seq;
+        self.wire_seq += 1;
+        self.arm_crashes(seq);
+        if self.crashed[img] {
+            // The heartbeat armed its own sender's crash point.
+            self.report.crash_drops += 1;
+            return;
+        }
+        self.report.heartbeats += 1;
+        if self.crashed[to] {
+            self.report.crash_drops += 1;
+        } else {
+            let d = self.wire.decide(img, to, seq);
+            if d.drop {
+                self.report.wire_drops += 1;
+            } else {
+                let extra =
+                    self.wire.spike_ns(d) + self.wire.stall_extra_ns(img, to, self.engine.now());
+                let delay = self.cfg.net.delivery_delay(CTRL_BYTES, &mut self.rng) + extra;
+                self.engine.schedule(delay, Ev::HeartbeatArrive { to, from: img });
+            }
+        }
+        if self.maintenance_live() {
+            self.engine.schedule(self.hb_period_ns, Ev::HeartbeatSend { img });
+        }
+    }
+
+    /// `observer`'s detector confirmed `peer` dead: record the death,
+    /// broadcast it (first confirmation only), and poison locally.
+    fn on_confirmed(&mut self, observer: usize, peer: usize, incarnation: u64) {
+        if self.down.is_none() {
+            self.down = Some((peer, incarnation));
+            self.first_confirm_ns = Some(self.engine.now());
+        }
+        if !self.down_broadcast {
+            self.down_broadcast = true;
+            // Team-wide death notice over the same ack/retry reliable
+            // sublayer as spawns (control traffic: no epoch accounting).
+            for other in 0..self.cfg.images {
+                if other == observer || other == peer {
+                    continue;
+                }
+                let link_seq = self.next_link_seq[observer][other];
+                self.next_link_seq[observer][other] += 1;
+                self.outstanding.insert(
+                    (observer, other, link_seq),
+                    Pending { payload: Payload::Down { victim: peer, incarnation }, attempts: 1 },
+                );
+                self.schedule_live(
+                    self.cfg.net.injection_ns,
+                    Ev::Xmit { from: observer, to: other, link_seq },
+                );
+            }
+        }
+        self.observe_death(observer, peer, incarnation);
+    }
+
+    /// `img` learns (first-hand or by broadcast) that `victim` is dead:
+    /// poison its epoch detector, install the posthumous filter, and —
+    /// on the team's first observation — drop the victim from wave
+    /// membership.
+    fn observe_death(&mut self, img: usize, victim: usize, incarnation: u64) {
+        if self.crashed[img] || self.observed[img] {
+            return;
+        }
+        self.observed[img] = true;
+        let now = self.now_d();
+        self.detectors[img].mark_dead(victim, incarnation, now);
+        self.fsim.poison(img, victim);
+        if self.fsim.mark_dead(victim) {
+            let cost = self.cfg.net.allreduce_cost(self.cfg.images, &mut self.rng);
+            self.schedule_live(cost, Ev::WaveComplete);
+        }
+        self.try_wave(img);
     }
 
     /// Attempts wave entry for `img`; the last entrant prices the
     /// allreduce and schedules the wave's completion.
     fn try_wave(&mut self, img: usize) {
+        if self.crashed[img] {
+            return;
+        }
         if self.fsim.try_enter(img, self.engine.now()) {
             let cost = self.cfg.net.allreduce_cost(self.cfg.images, &mut self.rng);
-            self.engine.schedule(cost, Ev::WaveComplete);
+            self.schedule_live(cost, Ev::WaveComplete);
         }
     }
 
@@ -216,22 +514,30 @@ impl ChaosSim {
         let p = self.cfg.images;
         // The finish body: every image issues its spawns round-robin over
         // the other images, staggered by the injection overhead.
-        let mut next_seq = vec![vec![0u64; p]; p];
-        for (img, seqs) in next_seq.iter_mut().enumerate() {
+        for img in 0..p {
             for k in 0..self.cfg.msgs_per_image {
                 if p == 1 {
                     break;
                 }
                 let to = (img + 1 + k % (p - 1)) % p;
-                let link_seq = seqs[to];
-                seqs[to] += 1;
+                let link_seq = self.next_link_seq[img][to];
+                self.next_link_seq[img][to] += 1;
                 let tag = self.fsim.on_send(img);
-                self.outstanding.insert((img, to, link_seq), Pending { tag, attempts: 1 });
+                self.outstanding.insert(
+                    (img, to, link_seq),
+                    Pending { payload: Payload::Spawn { tag }, attempts: 1 },
+                );
                 self.report.sent += 1;
-                self.engine.schedule_at(
+                self.schedule_live_at(
                     k as u64 * self.cfg.net.injection_ns,
                     Ev::Xmit { from: img, to, link_seq },
                 );
+            }
+        }
+        if self.failure_on() && p > 1 {
+            for img in 0..p {
+                self.engine.schedule(self.hb_period_ns, Ev::HeartbeatSend { img });
+                self.engine.schedule(self.hb_period_ns, Ev::DetectorTick { img });
             }
         }
         // Spawns issued: every image is now idle and bids for the wave
@@ -241,31 +547,85 @@ impl ChaosSim {
         }
 
         let mut terminated_at = None;
+        let mut last_now = 0;
         while let Some((now, ev)) = self.engine.pop() {
+            last_now = now;
+            if ev.is_live() {
+                self.live_pending -= 1;
+                if self.live_pending == 0 {
+                    // Maintenance outlives the last protocol event by one
+                    // detection horizon, then the queue drains.
+                    self.idle_deadline_ns = now + self.horizon_ns;
+                }
+            }
             match ev {
                 Ev::Xmit { from, to, link_seq } => self.transmit(from, to, link_seq),
-                Ev::Data { from, to, link_seq, tag } => {
+                Ev::Data { from, to, link_seq, payload } => {
+                    if self.crashed[to] {
+                        self.report.crash_drops += 1;
+                        continue;
+                    }
+                    if self.failure_on() {
+                        let now_d = self.now_d();
+                        // Posthumous filter: once `to` knows `from` is
+                        // dead, late copies are discarded un-acked.
+                        if !self.detectors[to].accepts(from, FIRST_INCARNATION) {
+                            self.report.posthumous_drops += 1;
+                            continue;
+                        }
+                        // Any application message is a life sign.
+                        self.detectors[to].on_life_sign(from, FIRST_INCARNATION, now_d);
+                    }
                     // Always re-ack: the previous ack may have been lost,
                     // and only an ack stops the sender's timer.
                     self.send_ack(to, from, link_seq);
                     if self.trackers[to][from].note(link_seq) {
-                        self.report.delivered += 1;
-                        self.fsim.on_receive(to, tag);
-                        self.engine.schedule(self.cfg.work_ns, Ev::HandlerDone { img: to, tag });
+                        match payload {
+                            Payload::Spawn { tag } => {
+                                self.report.delivered += 1;
+                                self.fsim.on_receive(to, tag);
+                                self.schedule_live(
+                                    self.cfg.work_ns,
+                                    Ev::HandlerDone { img: to, tag },
+                                );
+                            }
+                            Payload::Down { victim, incarnation } => {
+                                self.observe_death(to, victim, incarnation);
+                            }
+                        }
                     } else {
                         self.report.dups_suppressed += 1;
                     }
                 }
                 Ev::Ack { from, to, link_seq } => {
+                    if self.crashed[to] {
+                        self.report.crash_drops += 1;
+                        continue;
+                    }
+                    if self.failure_on() {
+                        let now_d = self.now_d();
+                        if !self.detectors[to].accepts(from, FIRST_INCARNATION) {
+                            self.report.posthumous_drops += 1;
+                            continue;
+                        }
+                        self.detectors[to].on_life_sign(from, FIRST_INCARNATION, now_d);
+                    }
                     // First ack wins; re-acks of a suppressed duplicate
                     // find the slot already empty.
-                    if self.outstanding.remove(&(to, from, link_seq)).is_some() {
-                        self.acked += 1;
-                        self.fsim.on_delivered(to);
+                    if let Some(pend) = self.outstanding.remove(&(to, from, link_seq)) {
+                        if matches!(pend.payload, Payload::Spawn { .. }) {
+                            self.acked += 1;
+                            self.fsim.on_delivered(to);
+                        }
                         self.try_wave(to);
                     }
                 }
                 Ev::HandlerDone { img, tag } => {
+                    if self.crashed[img] {
+                        // The handler died with its image: the spawn
+                        // never completes anywhere.
+                        continue;
+                    }
                     self.fsim.on_complete(img, tag);
                     self.try_wave(img);
                 }
@@ -273,37 +633,93 @@ impl ChaosSim {
                     let Some(pend) = self.outstanding.get_mut(&(from, to, link_seq)) else {
                         continue; // already acknowledged
                     };
+                    if self.crashed[from] {
+                        continue; // the dead retransmit nothing
+                    }
                     if pend.attempts > self.wire.max_retries() {
                         self.outstanding.remove(&(from, to, link_seq));
                         self.report.retries_exhausted += 1;
+                        if self.failure_on() && from != to {
+                            // Budget exhaustion is a strong death hint:
+                            // suspect immediately instead of waiting out
+                            // the silence deadline.
+                            let now_d = self.now_d();
+                            self.detectors[from].monitor(to, now_d);
+                            self.detectors[from].on_retry_exhausted(to, now_d);
+                        }
                     } else {
                         pend.attempts += 1;
                         self.report.retries += 1;
                         self.transmit(from, to, link_seq);
                     }
                 }
-                Ev::WaveComplete => {
-                    if self.fsim.complete_wave() == WaveDecision::Terminated {
+                Ev::WaveComplete => match self.fsim.complete_wave() {
+                    WaveDecision::Terminated => {
                         terminated_at = Some(now);
                         break;
                     }
-                    for img in 0..p {
-                        self.try_wave(img);
+                    WaveDecision::Poisoned => {
+                        // The survivors collectively aborted; keep
+                        // draining so in-flight Down copies settle and
+                        // every survivor records its observation.
+                        self.poisoned_close_ns = Some(now);
+                    }
+                    WaveDecision::Continue => {
+                        for img in 0..p {
+                            self.try_wave(img);
+                        }
+                    }
+                },
+                Ev::HeartbeatSend { img } => self.heartbeat(img),
+                Ev::HeartbeatArrive { to, from } => {
+                    if !self.crashed[to] {
+                        let now_d = self.now_d();
+                        if !self.detectors[to].on_life_sign(from, FIRST_INCARNATION, now_d) {
+                            self.report.posthumous_drops += 1;
+                        }
+                    }
+                }
+                Ev::DetectorTick { img } => {
+                    if !self.crashed[img] {
+                        let now_d = self.now_d();
+                        for fe in self.detectors[img].tick(now_d) {
+                            if let FailureEvent::Confirmed { peer, incarnation, .. } = fe {
+                                self.on_confirmed(img, peer, incarnation);
+                            }
+                        }
+                    }
+                    if self.maintenance_live() {
+                        self.engine.schedule(self.hb_period_ns, Ev::DetectorTick { img });
                     }
                 }
             }
         }
 
-        self.report.outcome = match terminated_at {
-            Some(sim_ns) => ChaosOutcome::Terminated { sim_ns, waves: self.fsim.waves() },
-            None => ChaosOutcome::Stalled { undelivered: self.report.sent - self.acked },
+        self.report.observers = (0..p).filter(|&i| self.observed[i]).collect();
+        self.report.suspects = self.detectors.iter().map(|d| d.suspects_raised()).sum();
+        self.report.false_suspects = self.detectors.iter().map(|d| d.false_suspects()).sum();
+        self.report.outcome = if let Some((victim, incarnation)) = self.down {
+            let detect_ns = match (self.first_confirm_ns, self.crashed_at_ns) {
+                (Some(confirmed), Some(fired)) => Some(confirmed.saturating_sub(fired)),
+                _ => None,
+            };
+            ChaosOutcome::Failed {
+                sim_ns: self.poisoned_close_ns.unwrap_or(last_now),
+                detect_ns,
+                victim,
+                incarnation,
+            }
+        } else if let Some(sim_ns) = terminated_at {
+            ChaosOutcome::Terminated { sim_ns, waves: self.fsim.waves() }
+        } else {
+            ChaosOutcome::Stalled { undelivered: self.report.sent - self.acked }
         };
         self.report
     }
 }
 
 /// Runs one simulated chaos `finish` and reports what the wire did and
-/// whether the detector terminated.
+/// whether the detector terminated, stalled, or observed a death.
 pub fn run_chaos_sim(cfg: &ChaosSimConfig) -> ChaosSimReport {
     ChaosSim::new(cfg.clone()).run()
 }
@@ -350,7 +766,7 @@ mod tests {
                 assert!(sim_ns > 0);
                 assert!(waves >= 1, "at least one wave to detect quiescence");
             }
-            ChaosOutcome::Stalled { .. } => panic!("clean run stalled: {r:?}"),
+            other => panic!("clean run must terminate, got {other:?}: {r:?}"),
         }
     }
 
@@ -411,5 +827,85 @@ mod tests {
             ChaosOutcome::Stalled { undelivered: 1 },
             "the detector must never terminate over a lost spawn"
         );
+    }
+
+    #[test]
+    fn crash_at_4096_images_fails_exactly_the_survivors() {
+        let mut cfg = ChaosSimConfig::new(4096);
+        cfg.plan = FaultPlan::none(0xFA11).with_crash(17, 3000);
+        cfg.failure = Some(FailureParams::default());
+        let r = run_chaos_sim(&cfg);
+        let ChaosOutcome::Failed { sim_ns, detect_ns, victim, incarnation } = r.outcome else {
+            panic!("a crashed member must fail the run, never terminate or stall: {r:?}");
+        };
+        assert_eq!(victim, 17, "the scheduled victim is named");
+        assert_eq!(incarnation, FIRST_INCARNATION);
+        let lat = detect_ns.expect("the crash fault fired on the wire");
+        let params = FailureParams::default();
+        let bound = (params.detection_horizon() + params.heartbeat_period * 3).as_nanos() as u64;
+        assert!(lat > 0 && lat <= bound, "detection latency {lat} ns beyond {bound} ns");
+        assert!(sim_ns >= lat, "the collective abort cannot precede the confirmation");
+        let survivors: Vec<usize> = (0..4096).filter(|&i| i != 17).collect();
+        assert_eq!(r.observers, survivors, "exactly the survivors observe the failure");
+        assert!(r.crash_drops > 0, "the dead image's traffic must be destroyed");
+        assert!(r.heartbeats > 0, "idle links must have heartbeated");
+        // Deterministic: the same config replays the same death, latency,
+        // and observer set.
+        assert_eq!(r, run_chaos_sim(&cfg));
+    }
+
+    #[test]
+    fn crash_verdict_is_stable_across_seeds_under_chaos() {
+        // The wire seed changes everything about the schedule — drops,
+        // jitter, retries — but never the verdict: same victim, every
+        // survivor observes, never Terminated, never Stalled.
+        for seed in [1u64, 2, 3, 0xDEAD, 0xBEEF] {
+            let mut cfg = ChaosSimConfig::new(256);
+            cfg.plan = FaultPlan::uniform_drop(seed, 0.01).with_dup(0.01).with_crash(9, 400);
+            cfg.failure = Some(FailureParams::default());
+            let r = run_chaos_sim(&cfg);
+            match r.outcome {
+                ChaosOutcome::Failed { victim, detect_ns, .. } => {
+                    assert_eq!(victim, 9, "seed {seed}: wrong victim");
+                    assert!(detect_ns.is_some(), "seed {seed}: latency must be measured");
+                    assert_eq!(
+                        r.observers,
+                        (0..256).filter(|&i| i != 9).collect::<Vec<_>>(),
+                        "seed {seed}: every survivor must observe the death"
+                    );
+                }
+                other => panic!("seed {seed}: expected Failed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_detection_is_invisible_on_a_clean_run() {
+        let mut cfg = ChaosSimConfig::new(256);
+        cfg.failure = Some(FailureParams::default());
+        let r = run_chaos_sim(&cfg);
+        assert!(matches!(r.outcome, ChaosOutcome::Terminated { .. }), "{r:?}");
+        assert_eq!(r.delivered, r.sent);
+        assert_eq!(r.suspects, 0, "a lossless wire must raise no suspicion");
+        assert_eq!(r.false_suspects, 0);
+        assert_eq!(r.crash_drops, 0);
+        assert!(r.observers.is_empty());
+    }
+
+    #[test]
+    fn one_way_black_hole_is_refuted_not_killed() {
+        // Image 0's retries toward 1 exhaust (a strong death hint), but
+        // image 1's heartbeats keep flowing on the healthy reverse path:
+        // the suspicion must be refuted, not confirmed — the run stalls
+        // (like the undetected case) instead of falsely killing a live
+        // image.
+        let mut cfg = ChaosSimConfig::new(8);
+        cfg.msgs_per_image = 1;
+        cfg.plan = FaultPlan::none(3).with_link(0, 1, 1.0);
+        cfg.failure = Some(FailureParams::default());
+        let r = run_chaos_sim(&cfg);
+        assert!(matches!(r.outcome, ChaosOutcome::Stalled { .. }), "{r:?}");
+        assert!(r.suspects >= 1, "retry exhaustion must raise a suspicion: {r:?}");
+        assert!(r.false_suspects >= 1, "the live peer's heartbeats must refute it: {r:?}");
     }
 }

@@ -4,6 +4,8 @@
 # Usage:
 #   scripts/ci.sh            # the standard gate
 #   scripts/ci.sh --stress   # also run the chaos-stress soak (minutes)
+#   CI_SOAK=1 scripts/ci.sh  # same soak, opted in via the environment
+#                            # (for CI matrices that can't pass flags)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== fmt =="
 cargo fmt --all --check
 
-if [[ "${1:-}" == "--stress" ]]; then
+if [[ "${1:-}" == "--stress" || "${CI_SOAK:-0}" == "1" ]]; then
     echo "== chaos-stress soak =="
     cargo test --quiet -p caf-runtime --features chaos-stress --test chaos
 fi

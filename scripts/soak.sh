@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The chaos soak, standalone: the feature-gated long-running stress
+# tests (many acceptance seeds, stall/recovery cycles, fail-stop crash
+# sweeps) without the rest of the CI gate. Equivalent to
+# `CI_SOAK=1 scripts/ci.sh` minus build/clippy/fmt — use this for quick
+# soak iterations, and the env guard for CI matrices.
+#
+# Usage:
+#   scripts/soak.sh            # the soak suite once
+#   scripts/soak.sh 5          # repeat it N times (flakiness hunting)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${1:-1}"
+for ((i = 1; i <= reps; i++)); do
+    echo "== chaos-stress soak ($i/$reps) =="
+    cargo test --quiet -p caf-runtime --features chaos-stress --test chaos
+done
+echo "Soak passed ($reps run(s))."

@@ -1,0 +1,279 @@
+//! Cofence model checking: ordered programs of async operations and
+//! directional fences, explored against an independently hand-coded
+//! pass/block truth table.
+//!
+//! The safety oracle here is the paper's §III-B semantics restated from
+//! the text rather than reusing `Pass::admits` (which is exactly what is
+//! under test): an operation may defer local data completion past a
+//! downward fence, or initiate early past an upward fence, iff the fence
+//! names its class — `READ` admits local-read-only operations, `WRITE`
+//! local-write-only, `ANY` everything, and an operation that both reads
+//! and writes local memory crosses only `ANY`.
+//!
+//! Programs are tiny — `op ; cofence(d, u) ; op` over every pass pair and
+//! operation class — but the checker explores every *interleaving* of
+//! operation completion against fence crossing, the same way the finish
+//! explorer enumerates message schedules: an implementation that is
+//! coincidentally right when operations complete eagerly still gets
+//! caught on the schedule where the operation is in flight at the fence.
+//!
+//! Two seeded mutations mirror `crate::mutation` for the mutation-check
+//! harness: swapping the read/write classes and ignoring the upward
+//! argument entirely.
+
+use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
+
+use crate::world::{Violation, ViolationKind};
+
+/// The async-operation classes of paper Table/§III-B, by what they do to
+/// the initiating image's local memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// `copy_async` with a local source: reads local memory.
+    CopyRead,
+    /// `copy_async` with a local destination: writes local memory.
+    CopyWrite,
+    /// Asynchronous collective (e.g. broadcast root buffer reuse):
+    /// reads and writes local memory.
+    AsyncCollective,
+    /// Shipped function (`spawn`): marshals arguments from local memory.
+    ShippedFn,
+}
+
+impl OpClass {
+    /// All classes.
+    pub const ALL: [OpClass; 4] =
+        [OpClass::CopyRead, OpClass::CopyWrite, OpClass::AsyncCollective, OpClass::ShippedFn];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::CopyRead => "copy-read",
+            OpClass::CopyWrite => "copy-write",
+            OpClass::AsyncCollective => "async-collective",
+            OpClass::ShippedFn => "shipped-fn",
+        }
+    }
+
+    /// The local access pattern of this class.
+    pub fn access(self) -> LocalAccess {
+        match self {
+            OpClass::CopyRead => LocalAccess::READ,
+            OpClass::CopyWrite => LocalAccess::WRITE,
+            OpClass::AsyncCollective => LocalAccess::READ_WRITE,
+            OpClass::ShippedFn => LocalAccess::READ,
+        }
+    }
+}
+
+/// Every `Pass` value, for matrix enumeration.
+pub const PASSES: [Pass; 4] = [Pass::None, Pass::Reads, Pass::Writes, Pass::Any];
+
+/// The paper's crossing rule, restated independently of the
+/// implementation: may an operation of class `access` cross a fence
+/// argument `pass`?
+pub fn truth_admits(pass: Pass, access: LocalAccess) -> bool {
+    match pass {
+        Pass::None => false,
+        Pass::Reads => access.reads && !access.writes,
+        Pass::Writes => !access.reads && access.writes,
+        Pass::Any => true,
+    }
+}
+
+/// Seeded cofence implementation bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CofenceMutation {
+    /// `READ` admits writers and `WRITE` admits readers.
+    SwapReadWrite,
+    /// The upward argument is ignored: nothing may initiate early, and —
+    /// the dangerous half — `cofence(UPWARD=x)` is treated as if the
+    /// *downward* argument were `x` too.
+    IgnoreUpward,
+}
+
+impl CofenceMutation {
+    /// All cofence mutations.
+    pub const ALL: [CofenceMutation; 2] =
+        [CofenceMutation::SwapReadWrite, CofenceMutation::IgnoreUpward];
+
+    /// Stable name for the CLI and `mutate_check.sh`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CofenceMutation::SwapReadWrite => "cofence-swap-read-write",
+            CofenceMutation::IgnoreUpward => "cofence-ignore-upward",
+        }
+    }
+
+    /// Parses [`CofenceMutation::name`].
+    pub fn parse(s: &str) -> Result<CofenceMutation, String> {
+        CofenceMutation::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| format!("unknown cofence mutation {s:?}"))
+    }
+}
+
+fn swap_pass(p: Pass) -> Pass {
+    match p {
+        Pass::Reads => Pass::Writes,
+        Pass::Writes => Pass::Reads,
+        other => other,
+    }
+}
+
+/// The implementation under check: the real `CofenceSpec` algebra with an
+/// optional mutation layered on top.
+#[derive(Debug, Clone, Copy)]
+struct Impl {
+    spec: CofenceSpec,
+    mutation: Option<CofenceMutation>,
+}
+
+impl Impl {
+    fn blocks_down(&self, access: LocalAccess) -> bool {
+        match self.mutation {
+            Some(CofenceMutation::SwapReadWrite) => {
+                !CofenceSpec::new(swap_pass(self.spec.downward), self.spec.upward)
+                    .downward
+                    .admits(access)
+            }
+            Some(CofenceMutation::IgnoreUpward) => {
+                // The buggy build wired the upward argument into the
+                // downward check.
+                !CofenceSpec::new(self.spec.upward, Pass::None).downward.admits(access)
+            }
+            None => self.spec.blocks_down(access),
+        }
+    }
+
+    fn admits_up(&self, access: LocalAccess) -> bool {
+        match self.mutation {
+            Some(CofenceMutation::SwapReadWrite) => swap_pass(self.spec.upward).admits(access),
+            Some(CofenceMutation::IgnoreUpward) => false,
+            None => self.spec.admits_up(access),
+        }
+    }
+}
+
+/// Explores every interleaving of `op1 ; cofence(spec) ; op2` for one
+/// `(spec, op1, op2)` triple: the pre-fence operation may complete at any
+/// point (or never, until forced), and the post-fence operation may be
+/// initiated early iff the implementation admits it. Returns the first
+/// state the implementation reaches that the truth table forbids.
+fn check_program(
+    spec: CofenceSpec,
+    mutation: Option<CofenceMutation>,
+    op1: OpClass,
+    op2: OpClass,
+) -> Option<Violation> {
+    let imp = Impl { spec, mutation };
+    // Schedule A: op1 still in flight when control reaches the fence.
+    // The implementation decides whether the fence may complete now.
+    let impl_passes_early = !imp.blocks_down(op1.access());
+    let truth_passes_early = truth_admits(spec.downward, op1.access());
+    if impl_passes_early && !truth_passes_early {
+        return Some(Violation {
+            kind: ViolationKind::CofenceDown,
+            detail: format!(
+                "cofence(DOWNWARD={:?}, UPWARD={:?}) completed while a {} was pending \
+                 local data completion",
+                spec.downward,
+                spec.upward,
+                op1.name()
+            ),
+        });
+    }
+    // Completeness half: the fence must not stall a crossing the paper
+    // guarantees (a conservative implementation breaks Fig. 8's overlap).
+    if !impl_passes_early && truth_passes_early {
+        return Some(Violation {
+            kind: ViolationKind::CofenceDown,
+            detail: format!(
+                "cofence(DOWNWARD={:?}) stalled a {} the paper admits downward",
+                spec.downward,
+                op1.name()
+            ),
+        });
+    }
+    // Schedule B: op1 completes before the fence; op2 asks to initiate
+    // early (before the fence's own completion).
+    let impl_early_up = imp.admits_up(op2.access());
+    let truth_early_up = truth_admits(spec.upward, op2.access());
+    if impl_early_up && !truth_early_up {
+        return Some(Violation {
+            kind: ViolationKind::CofenceUp,
+            detail: format!(
+                "cofence(DOWNWARD={:?}, UPWARD={:?}) let a {} initiate above the fence",
+                spec.downward,
+                spec.upward,
+                op2.name()
+            ),
+        });
+    }
+    if !impl_early_up && truth_early_up {
+        return Some(Violation {
+            kind: ViolationKind::CofenceUp,
+            detail: format!(
+                "cofence(UPWARD={:?}) refused a {} the paper admits upward",
+                spec.upward,
+                op2.name()
+            ),
+        });
+    }
+    None
+}
+
+/// Checks the full matrix: all 16 `(downward, upward)` pass pairs × all
+/// pre/post operation-class pairs, each under every schedule. Returns the
+/// first violation and the number of programs checked.
+pub fn check_matrix(mutation: Option<CofenceMutation>) -> (usize, Option<Violation>) {
+    let mut programs = 0;
+    for d in PASSES {
+        for u in PASSES {
+            for op1 in OpClass::ALL {
+                for op2 in OpClass::ALL {
+                    programs += 1;
+                    if let Some(v) = check_program(CofenceSpec::new(d, u), mutation, op1, op2) {
+                        return (programs, Some(v));
+                    }
+                }
+            }
+        }
+    }
+    (programs, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_implementation_passes_the_whole_matrix() {
+        let (programs, v) = check_matrix(None);
+        assert_eq!(programs, 16 * 16);
+        assert!(v.is_none(), "{v:?}");
+    }
+
+    #[test]
+    fn swap_read_write_is_caught() {
+        let (_, v) = check_matrix(Some(CofenceMutation::SwapReadWrite));
+        let v = v.expect("swapped classes must violate the table");
+        assert!(matches!(v.kind, ViolationKind::CofenceDown | ViolationKind::CofenceUp), "{v:?}");
+    }
+
+    #[test]
+    fn ignore_upward_is_caught() {
+        let (_, v) = check_matrix(Some(CofenceMutation::IgnoreUpward));
+        let v = v.expect("ignored upward argument must violate the table");
+        assert!(matches!(v.kind, ViolationKind::CofenceDown | ViolationKind::CofenceUp), "{v:?}");
+    }
+
+    #[test]
+    fn shipped_fn_classifies_as_local_read() {
+        // A spawn marshals its arguments out of local memory: it crosses
+        // READ fences, not WRITE fences.
+        assert!(truth_admits(Pass::Reads, OpClass::ShippedFn.access()));
+        assert!(!truth_admits(Pass::Writes, OpClass::ShippedFn.access()));
+    }
+}

@@ -1,0 +1,93 @@
+//! Vector clocks: the happens-before layer of the explorer.
+//!
+//! Every image carries a clock; every message snapshots its sender's
+//! clock at send time and joins it into the receiver at delivery. The
+//! explorer uses the resulting happens-before order three ways:
+//!
+//! * the **liveness oracle** bounds waves by the *causal* chain length of
+//!   the run (`L` in Theorem 1 is the longest happens-before chain of
+//!   messages, which for crash runs can be shorter than the scenario's
+//!   static spawn depth);
+//! * **shrinking** normalizes schedules to a canonical linearization of
+//!   the happens-before partial order, so delta-debugged counterexamples
+//!   are stable across exploration orders;
+//! * model **sanity checks** assert that a delivery's clock always
+//!   dominates the matching send.
+
+/// A fixed-width vector clock over `n` images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    lanes: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `n` images.
+    pub fn new(n: usize) -> Self {
+        VectorClock { lanes: vec![0; n] }
+    }
+
+    /// Advances `image`'s own lane (a local step).
+    pub fn tick(&mut self, image: usize) {
+        self.lanes[image] += 1;
+    }
+
+    /// Joins `other` into `self` (element-wise max — message receipt).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.lanes.iter_mut().zip(&other.lanes) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (every lane ≤).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.lanes.iter().zip(&other.lanes).all(|(a, b)| a <= b)
+    }
+
+    /// Strict domination: `self ≤ other` and they differ.
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        other.le(self) && self != other
+    }
+
+    /// `image`'s own lane value.
+    pub fn lane(&self, image: usize) -> u64 {
+        self.lanes[image]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_join_order_events() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0); // a = [1,0,0]
+        let snapshot = a.clone();
+        b.join(&snapshot); // message 0 → 1
+        b.tick(1); // b = [1,1,0]
+        assert!(snapshot.le(&b));
+        assert!(b.dominates(&snapshot));
+        assert!(!snapshot.dominates(&b));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn le_is_reflexive() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        assert!(a.le(&a));
+        assert!(!a.dominates(&a));
+    }
+}

@@ -7,6 +7,7 @@
 //! (`cofence`), local operation completion (events), and global completion
 //! (`finish`), which is what Figures 12–14 and 16–18 measure.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use crate::failure::FailureParams;
@@ -163,6 +164,13 @@ pub struct RuntimeConfig {
     /// in `finish`/collectives. `None` disables detection (a crashed
     /// image then surfaces only through the watchdog, as a stall).
     pub failure: Option<FailureParams>,
+    /// Protocol trace capture. When set, every image records its
+    /// detector-relevant `finish` events (sends, delivery acks,
+    /// receptions, completions, reduction waves, poison) into the shared
+    /// [`crate::trace::TraceRecorder`], producing a linearized schedule
+    /// the `caf-check` model checker can validate. `None` (the default)
+    /// records nothing and costs nothing.
+    pub trace: Option<Arc<crate::trace::TraceRecorder>>,
 }
 
 impl Default for RuntimeConfig {
@@ -177,6 +185,7 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::default(),
             watchdog: None,
             failure: None,
+            trace: None,
         }
     }
 }

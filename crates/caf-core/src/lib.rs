@@ -21,6 +21,8 @@
 //!   them;
 //! * [`cofence`] — the directional fence algebra;
 //! * [`model`] — a checkable rendering of the relaxed memory model;
+//! * [`trace`] — protocol trace capture, bridging real executions and the
+//!   schedule-exploration model checker (`caf-check`);
 //! * [`rng`] — a tiny deterministic PRNG shared by harnesses and
 //!   workloads.
 //!
@@ -41,6 +43,7 @@ pub mod model;
 pub mod rng;
 pub mod termination;
 pub mod topology;
+pub mod trace;
 
 pub use cofence::{CofenceSpec, LocalAccess, Pass};
 pub use config::{CommMode, NetworkModel, RuntimeConfig};
@@ -49,3 +52,4 @@ pub use failure::{FailureDetectorState, FailureEvent, FailureParams, PeerHealth}
 pub use fault::{CrashFault, FaultDecision, FaultPlan, RetryPolicy, SeqTracker, StallWindow};
 pub use ids::{EventId, FinishId, ImageId, Parity, TeamId, TeamRank};
 pub use topology::{BinomialTree, Team};
+pub use trace::{TraceEvent, TraceRecorder};

@@ -1,0 +1,120 @@
+//! The paper's §III-B cofence pass/block table, written out by hand and
+//! checked exhaustively against the implementation: every `DOWNWARD` ×
+//! `UPWARD` argument pair (None/READ/WRITE/ANY both ways, 16 fences)
+//! against every async-operation class — asynchronous copy with a local
+//! source (local read), asynchronous copy with a local destination (local
+//! write), asynchronous collective (local read *and* write), and shipped
+//! function (argument marshalling, local read).
+//!
+//! The expectations below are literal table entries, not a re-derivation
+//! through `Pass::admits` — that function is the thing under test.
+
+use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
+
+/// `(class name, local access)` for each async-operation class.
+const OP_CLASSES: [(&str, LocalAccess); 4] = [
+    ("copy-read", LocalAccess::READ),
+    ("copy-write", LocalAccess::WRITE),
+    ("async-collective", LocalAccess::READ_WRITE),
+    ("shipped-fn", LocalAccess::READ),
+];
+
+/// The hand-written table: may an operation of the given class cross a
+/// fence argument? Rows follow `OP_CLASSES`; columns are the fence
+/// argument None / READ / WRITE / ANY. Identical in both directions —
+/// the paper gives one crossing rule, applied downward and upward.
+const CROSSES: [[bool; 4]; 4] = [
+    // None   READ   WRITE  ANY
+    [false, true, false, true],  // copy-read
+    [false, false, true, true],  // copy-write
+    [false, false, false, true], // async-collective: only ANY
+    [false, true, false, true],  // shipped-fn marshals = local read
+];
+
+const ARGS: [Pass; 4] = [Pass::None, Pass::Reads, Pass::Writes, Pass::Any];
+
+#[test]
+fn downward_matches_the_paper_table_for_every_fence_and_class() {
+    for (d_idx, &down) in ARGS.iter().enumerate() {
+        for &up in &ARGS {
+            let fence = CofenceSpec::new(down, up);
+            for (row, &(name, access)) in OP_CLASSES.iter().enumerate() {
+                let expect_cross = CROSSES[row][d_idx];
+                assert_eq!(
+                    !fence.blocks_down(access),
+                    expect_cross,
+                    "cofence(DOWNWARD={down:?}, UPWARD={up:?}) × {name}: \
+                     downward crossing must be {expect_cross}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn upward_matches_the_paper_table_for_every_fence_and_class() {
+    for &down in &ARGS {
+        for (u_idx, &up) in ARGS.iter().enumerate() {
+            let fence = CofenceSpec::new(down, up);
+            for (row, &(name, access)) in OP_CLASSES.iter().enumerate() {
+                let expect_cross = CROSSES[row][u_idx];
+                assert_eq!(
+                    fence.admits_up(access),
+                    expect_cross,
+                    "cofence(DOWNWARD={down:?}, UPWARD={up:?}) × {name}: \
+                     upward crossing must be {expect_cross}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn directions_are_independent() {
+    // The downward verdict must not depend on the upward argument and
+    // vice versa: 16 fences, every class, both directions pinned to the
+    // row computed above.
+    for &(name, access) in &OP_CLASSES {
+        for &d in &ARGS {
+            let verdicts: Vec<bool> =
+                ARGS.iter().map(|&u| CofenceSpec::new(d, u).blocks_down(access)).collect();
+            assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "{name}: downward verdict varies with the upward argument"
+            );
+        }
+        for &u in &ARGS {
+            let verdicts: Vec<bool> =
+                ARGS.iter().map(|&d| CofenceSpec::new(d, u).admits_up(access)).collect();
+            assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "{name}: upward verdict varies with the downward argument"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_default_fence_is_the_full_fence() {
+    // `cofence()` with no arguments blocks everything both ways — the
+    // conservative default the paper specifies.
+    let fence = CofenceSpec::default();
+    assert_eq!(fence, CofenceSpec::FULL);
+    for &(name, access) in &OP_CLASSES {
+        assert!(fence.blocks_down(access), "{name} crossed the full fence downward");
+        assert!(!fence.admits_up(access), "{name} crossed the full fence upward");
+    }
+}
+
+#[test]
+fn a_no_local_memory_op_still_only_crosses_any() {
+    // A purely remote-to-remote third-party copy touches no local memory;
+    // READ and WRITE name *classes*, and an operation in neither class
+    // only crosses ANY.
+    let access = LocalAccess::NONE;
+    assert!(!CofenceSpec::new(Pass::Reads, Pass::Reads).admits_up(access));
+    assert!(!CofenceSpec::new(Pass::Writes, Pass::Writes).admits_up(access));
+    assert!(CofenceSpec::new(Pass::Any, Pass::Any).admits_up(access));
+    assert!(CofenceSpec::new(Pass::Reads, Pass::None).blocks_down(access));
+    assert!(!CofenceSpec::new(Pass::Any, Pass::None).blocks_down(access));
+}

@@ -321,6 +321,313 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Differential detector check: a random bounded message trace, fully
+// drained, must yield the *same* verdict from every detector family —
+// strict epoch and loose epoch terminate in one verdict wave, Mattern's
+// four-counter in two, the centralized home after one report round, and
+// the barrier detector is locally done everywhere. A divergence is
+// delta-debugged down to a minimal message set before reporting (the
+// vendored proptest shim does no automatic shrinking).
+// ---------------------------------------------------------------------------
+
+/// One spawned message of the differential trace: `(from, to, parent)`.
+/// A child's send only becomes enabled once its parent has executed (the
+/// transitive function-shipping structure of the paper's finish).
+type DiffMsg = (usize, usize, Option<usize>);
+
+/// A differential test case: the message forest plus the schedule seed
+/// that fixes the interleaving. `drop_exec` injects a trace corruption
+/// (that message's completion never happens) to exercise the shrinker.
+#[derive(Debug, Clone)]
+struct DiffCase {
+    images: usize,
+    msgs: Vec<DiffMsg>,
+    seed: u64,
+    drop_exec: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiffStep {
+    Send(usize),
+    Deliver(usize),
+    Ack(usize),
+    Exec(usize),
+}
+
+/// Closes `alive` under the spawn structure: a message stays only if its
+/// whole ancestor chain is alive and no ancestor has its exec dropped
+/// (a child of an unexeced parent is never sent).
+fn diff_close_inner(msgs: &[DiffMsg], alive: &[usize], drop_exec: Option<usize>) -> Vec<usize> {
+    let mut ok = vec![false; msgs.len()];
+    for &i in alive {
+        let sendable = match msgs[i].2 {
+            None => true,
+            Some(p) => ok[p] && drop_exec != Some(p),
+        };
+        // Parents precede children by construction, so one forward pass
+        // settles the chain.
+        if sendable {
+            ok[i] = true;
+        }
+    }
+    (0..msgs.len()).filter(|&i| ok[i]).collect()
+}
+
+/// Builds one valid interleaving of the alive messages' protocol steps
+/// under a seeded random scheduler: send ≺ deliver ≺ {ack, exec}, and a
+/// child's send waits for its parent's exec.
+fn diff_linearize(case: &DiffCase, alive: &[usize]) -> Vec<DiffStep> {
+    let mut rng = SplitMix64::new(case.seed);
+    let mut done = vec![[false; 4]; case.msgs.len()]; // send/deliver/ack/exec
+    let total: usize = alive.iter().map(|&i| if case.drop_exec == Some(i) { 3 } else { 4 }).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut enabled = Vec::new();
+        for &i in alive {
+            if !done[i][0] {
+                if case.msgs[i].2.is_none_or(|p| done[p][3]) {
+                    enabled.push(DiffStep::Send(i));
+                }
+            } else if !done[i][1] {
+                enabled.push(DiffStep::Deliver(i));
+            } else {
+                if !done[i][2] {
+                    enabled.push(DiffStep::Ack(i));
+                }
+                if !done[i][3] && case.drop_exec != Some(i) {
+                    enabled.push(DiffStep::Exec(i));
+                }
+            }
+        }
+        let pick = enabled[rng.next_below(enabled.len() as u64) as usize];
+        match pick {
+            DiffStep::Send(i) => done[i][0] = true,
+            DiffStep::Deliver(i) => done[i][1] = true,
+            DiffStep::Ack(i) => done[i][2] = true,
+            DiffStep::Exec(i) => done[i][3] = true,
+        }
+        out.push(pick);
+    }
+    out
+}
+
+/// Replays the trace through a fresh wave-detector bank and runs
+/// synchronous verdict waves; returns the wave the bank unanimously
+/// terminated in, or an error describing the divergence.
+fn diff_wave_verdict<D: WaveDetector>(
+    images: usize,
+    msgs: &[DiffMsg],
+    trace: &[DiffStep],
+    fresh: impl Fn() -> D,
+) -> Result<usize, String> {
+    use caf_core::termination::WaveDecision;
+    let mut bank: Vec<D> = (0..images).map(|_| fresh()).collect();
+    let mut tags: Vec<Option<Parity>> = vec![None; msgs.len()];
+    for step in trace {
+        match *step {
+            DiffStep::Send(i) => tags[i] = Some(bank[msgs[i].0].on_send()),
+            DiffStep::Deliver(i) => bank[msgs[i].1].on_receive(tags[i].unwrap()),
+            DiffStep::Ack(i) => bank[msgs[i].0].on_delivered(tags[i].unwrap()),
+            DiffStep::Exec(i) => bank[msgs[i].1].on_complete(tags[i].unwrap()),
+        }
+    }
+    for wave in 1..=3usize {
+        if let Some(i) = (0..images).find(|&i| !bank[i].ready()) {
+            return Err(format!("image {i} not ready for verdict wave {wave}"));
+        }
+        let mut sum = [0i64; 2];
+        for d in bank.iter_mut() {
+            let c = d.enter_wave();
+            sum[0] += c[0];
+            sum[1] += c[1];
+        }
+        let decisions: Vec<WaveDecision> = bank.iter_mut().map(|d| d.exit_wave(sum)).collect();
+        if decisions.contains(&WaveDecision::Terminated) {
+            return if decisions.iter().all(|d| *d == WaveDecision::Terminated) {
+                Ok(wave)
+            } else {
+                Err(format!("split verdict in wave {wave}: {decisions:?}"))
+            };
+        }
+    }
+    Err("no termination within 3 verdict waves".into())
+}
+
+/// Runs every detector family over the alive subset of the case and
+/// returns the first divergence from the expected identical verdict.
+fn diff_divergence(case: &DiffCase, alive: &[usize]) -> Option<String> {
+    use caf_core::ids::ImageId;
+    use caf_core::termination::{BarrierDetector, CentralizedDetector, CentralizedHome};
+    let trace = diff_linearize(case, alive);
+    let msgs = &case.msgs;
+    let n = case.images;
+    for (name, expect, run) in [("epoch-strict", 1usize, true), ("epoch-loose", 1, false)] {
+        match diff_wave_verdict(n, msgs, &trace, || EpochDetector::new(run)) {
+            Ok(w) if w == expect => {}
+            Ok(w) => return Some(format!("{name}: terminated in wave {w}, expected {expect}")),
+            Err(e) => return Some(format!("{name}: {e}")),
+        }
+    }
+    match diff_wave_verdict(n, msgs, &trace, FourCounterDetector::new) {
+        Ok(2) => {}
+        Ok(w) => return Some(format!("four-counter: terminated in wave {w}, expected 2")),
+        Err(e) => return Some(format!("four-counter: {e}")),
+    }
+    let mut home = CentralizedHome::new(n);
+    let mut workers: Vec<CentralizedDetector> =
+        (0..n).map(|i| CentralizedDetector::new(ImageId(i), n)).collect();
+    for step in &trace {
+        match *step {
+            DiffStep::Send(i) => workers[msgs[i].0].on_spawn(ImageId(msgs[i].1)),
+            DiffStep::Deliver(i) => workers[msgs[i].1].on_activity_start(),
+            DiffStep::Exec(i) => workers[msgs[i].1].on_activity_complete(),
+            DiffStep::Ack(_) => {}
+        }
+    }
+    let mut done = false;
+    for (i, w) in workers.iter_mut().enumerate() {
+        if !w.quiescent() {
+            return Some(format!("centralized: worker {i} not quiescent on drained trace"));
+        }
+        if let Some(r) = w.take_report() {
+            done = home.ingest(&r);
+        }
+    }
+    if !done {
+        return Some("centralized: home withheld termination after a full report round".into());
+    }
+    let mut barrier: Vec<BarrierDetector> = (0..n).map(|_| BarrierDetector::new()).collect();
+    for step in &trace {
+        match *step {
+            DiffStep::Send(i) => {
+                barrier[msgs[i].0].on_send();
+            }
+            DiffStep::Deliver(i) => barrier[msgs[i].1].on_receive(Parity::Even),
+            DiffStep::Ack(i) => barrier[msgs[i].0].on_delivered(Parity::Even),
+            DiffStep::Exec(i) => barrier[msgs[i].1].on_complete(Parity::Even),
+        }
+    }
+    if let Some(i) = (0..n).find(|&i| !barrier[i].locally_done()) {
+        return Some(format!("barrier: image {i} not locally done on a terminated trace"));
+    }
+    None
+}
+
+/// Manual ddmin over the message set: the smallest alive subset (closed
+/// under the spawn structure) that still diverges.
+fn diff_minimize(case: &DiffCase) -> Vec<usize> {
+    let mut alive = diff_close(case, &(0..case.msgs.len()).collect::<Vec<_>>());
+    let mut chunk = alive.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < alive.len() {
+            let candidate: Vec<usize> = alive
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k < i || *k >= i + chunk)
+                .map(|(_, &m)| m)
+                .collect();
+            let candidate = diff_close(case, &candidate);
+            if (!candidate.is_empty() || case.drop_exec.is_none())
+                && diff_divergence(case, &candidate).is_some()
+            {
+                alive = candidate;
+                progressed = true;
+                continue;
+            }
+            i += chunk;
+        }
+        if chunk == 1 && !progressed {
+            return alive;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+fn diff_close(case: &DiffCase, alive: &[usize]) -> Vec<usize> {
+    diff_close_inner(&case.msgs, alive, case.drop_exec)
+}
+
+/// Strategy for a bounded random message forest over `images` images:
+/// each message names a sender, a target, and optionally a parent among
+/// the earlier messages (its sender is then forced to the parent's
+/// target, as a real shipped function would).
+fn diff_case(images: usize) -> impl Strategy<Value = DiffCase> {
+    (prop::collection::vec((0..images, 0..images, any::<u64>()), 0..7), any::<u64>()).prop_map(
+        move |(raw, seed)| {
+            let mut msgs: Vec<DiffMsg> = Vec::with_capacity(raw.len());
+            for (i, (from, to, link)) in raw.into_iter().enumerate() {
+                let parent = (i > 0 && link % 3 == 0).then(|| (link / 3) as usize % i);
+                let from = parent.map_or(from, |p| msgs[p].1);
+                msgs.push((from, to, parent));
+            }
+            DiffCase { images, msgs, seed, drop_exec: None }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All five detector families agree on every drained random trace.
+    /// On a divergence the failing case is first delta-debugged to a
+    /// minimal message set, so the panic message names the smallest
+    /// reproducing forest.
+    #[test]
+    fn all_detector_families_agree_on_random_traces(case in diff_case(4)) {
+        let alive = diff_close(&case, &(0..case.msgs.len()).collect::<Vec<_>>());
+        if let Some(divergence) = diff_divergence(&case, &alive) {
+            let minimal = diff_minimize(&case);
+            let forest: Vec<DiffMsg> = minimal.iter().map(|&i| case.msgs[i]).collect();
+            let detail = diff_divergence(&case, &minimal).unwrap_or(divergence);
+            prop_assert!(
+                false,
+                "detector families diverged: {detail}\n  minimal forest ({} of {} msgs): \
+                 {forest:?}\n  seed {:#x}",
+                minimal.len(),
+                case.msgs.len(),
+                case.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn diff_shrinker_reduces_a_corrupted_trace_to_one_message() {
+    // Corrupt message 2 of a five-message forest (its completion never
+    // happens): every family must flag the trace, and ddmin must strip
+    // the four healthy messages, leaving exactly the corrupted one.
+    let case = DiffCase {
+        images: 4,
+        msgs: vec![(0, 1, None), (1, 2, Some(0)), (0, 3, None), (3, 0, Some(2)), (2, 2, None)],
+        seed: 0xca_fe,
+        drop_exec: Some(2),
+    };
+    let all = diff_close(&case, &(0..case.msgs.len()).collect::<Vec<_>>());
+    assert!(diff_divergence(&case, &all).is_some(), "corrupted trace must diverge");
+    let minimal = diff_minimize(&case);
+    assert_eq!(minimal, vec![2], "ddmin must isolate the corrupted message");
+    assert!(diff_divergence(&case, &minimal).is_some());
+}
+
+#[test]
+fn diff_clean_forest_has_no_divergence_under_many_schedules() {
+    // A fixed transitive forest under 64 different interleavings: the
+    // deterministic counterpart of the property above.
+    for seed in 0..64u64 {
+        let case = DiffCase {
+            images: 3,
+            msgs: vec![(0, 1, None), (1, 2, Some(0)), (2, 0, Some(1)), (0, 2, None)],
+            seed,
+            drop_exec: None,
+        };
+        let alive = diff_close(&case, &(0..case.msgs.len()).collect::<Vec<_>>());
+        assert_eq!(diff_divergence(&case, &alive), None, "seed {seed}");
+    }
+}
+
 /// Strategy for a random abstract program statement.
 fn arb_stmt() -> impl Strategy<Value = Stmt> {
     use caf_core::ids::{EventId, ImageId};

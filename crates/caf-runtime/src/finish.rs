@@ -15,6 +15,7 @@
 use caf_core::ids::FinishId;
 use caf_core::termination::{WaveDecision, WaveDetector};
 use caf_core::topology::Team;
+use caf_core::trace::TraceEvent;
 
 use crate::image::Image;
 use crate::state::ImageState;
@@ -54,9 +55,21 @@ impl Image {
         loop {
             self.wait_until("finish", || self.with_frame(fid, |d| d.ready()));
             let contribution = self.with_frame(fid, |d| d.enter_wave());
+            self.trace(|| TraceEvent::EnterWave {
+                image: self.id().index(),
+                finish: Image::trace_fid(fid),
+                contribution,
+            });
             let sum = self.allreduce(team, contribution, |a, b| [a[0] + b[0], a[1] + b[1]]);
             waves += 1;
-            match self.with_frame(fid, |d| d.exit_wave(sum)) {
+            let decision = self.with_frame(fid, |d| d.exit_wave(sum));
+            self.trace(|| TraceEvent::ExitWave {
+                image: self.id().index(),
+                finish: Image::trace_fid(fid),
+                sum,
+                terminated: decision == WaveDecision::Terminated,
+            });
+            match decision {
                 WaveDecision::Terminated => break,
                 WaveDecision::Continue => {}
                 // A member died: the block can never complete. Normally

@@ -16,6 +16,7 @@ use caf_core::cofence::LocalAccess;
 use caf_core::ids::{EventId, FinishId, ImageId, Parity};
 use caf_core::termination::{EpochDetector, WaveDetector};
 use caf_core::topology::Team;
+use caf_core::trace::TraceEvent;
 use caf_net::CommPump;
 
 use crate::coarray::Coarray;
@@ -79,6 +80,25 @@ impl Image {
     pub fn image(&self, r: usize) -> ImageId {
         assert!(r < self.shared.n, "image rank {r} out of range");
         ImageId(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol trace capture
+    // ------------------------------------------------------------------
+
+    /// Records a protocol event into the configured trace, if any. Takes
+    /// a closure so event construction is free when tracing is off.
+    #[inline]
+    pub(crate) fn trace(&self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(rec) = &self.shared.cfg.trace {
+            rec.record(ev());
+        }
+    }
+
+    /// A finish id in the trace's substrate-independent form.
+    #[inline]
+    pub(crate) fn trace_fid(fid: FinishId) -> (u64, u64) {
+        (fid.team.0, fid.seq)
     }
 
     // ------------------------------------------------------------------
@@ -170,8 +190,13 @@ impl Image {
         let hub = self.shared.failure.as_ref().expect("failure abort without a hub");
         if let Some(down) = hub.down() {
             let mut st = self.st.borrow_mut();
-            for frame in st.finish_frames.values_mut() {
+            for (fid, frame) in st.finish_frames.iter_mut() {
                 frame.detector.poison(down.peer);
+                self.trace(|| TraceEvent::Poison {
+                    image: self.me.index(),
+                    finish: Image::trace_fid(*fid),
+                    victim: down.peer,
+                });
             }
         }
         // Halt first: flow control stops parking senders, so the comm
@@ -284,6 +309,10 @@ impl Image {
             Msg::Am(am) => self.handle_am(am),
             Msg::Ack { finish } => {
                 self.with_frame(finish, |f| f.on_delivered(Parity::Even));
+                self.trace(|| TraceEvent::Delivered {
+                    image: self.me.index(),
+                    finish: Image::trace_fid(finish),
+                });
             }
             Msg::EventNotify { slot } => {
                 self.shared.event_tables[self.me.index()].cell(slot).notify();
@@ -298,8 +327,13 @@ impl Image {
                     hub.post(image, incarnation, None);
                     self.shared.fabric.mark_peer_dead(self.me, image, incarnation);
                     let mut st = self.st.borrow_mut();
-                    for frame in st.finish_frames.values_mut() {
+                    for (fid, frame) in st.finish_frames.iter_mut() {
                         frame.detector.poison(image);
+                        self.trace(|| TraceEvent::Poison {
+                            image: self.me.index(),
+                            finish: Image::trace_fid(*fid),
+                            victim: image,
+                        });
                     }
                 }
             }
@@ -311,6 +345,11 @@ impl Image {
         // `delivered` counter in the finish detector).
         if let Some(tag) = am.finish {
             self.with_frame(tag.id, |f| f.on_receive(tag.parity));
+            self.trace(|| TraceEvent::Receive {
+                image: self.me.index(),
+                finish: Image::trace_fid(tag.id),
+                parity: tag.parity,
+            });
             self.shared.fabric.send_unthrottled(
                 self.me,
                 am.sender,
@@ -345,6 +384,11 @@ impl Image {
         }
         if let Some(tag) = am.finish {
             self.with_frame(tag.id, |f| f.on_complete(tag.parity));
+            self.trace(|| TraceEvent::Complete {
+                image: self.me.index(),
+                finish: Image::trace_fid(tag.id),
+                parity: tag.parity,
+            });
         }
     }
 
@@ -369,6 +413,11 @@ impl Image {
     pub(crate) fn am_tag(&self) -> Option<FinishTag> {
         let fid = self.st.borrow().ctx_stack.last().copied().flatten()?;
         let parity = self.with_frame(fid, |d| d.on_send());
+        self.trace(|| TraceEvent::Send {
+            image: self.me.index(),
+            finish: Image::trace_fid(fid),
+            parity,
+        });
         Some(FinishTag { id: fid, parity })
     }
 

@@ -15,6 +15,14 @@ cargo build --workspace --all-targets
 echo "== test =="
 cargo test --workspace --quiet
 
+echo "== model-checker smoke (p=3, depth=2) =="
+# Time-boxed: the state cap truncates the two families that blow past it
+# at this bound (honest truncation, not a pass), keeping the smoke tier
+# seconds-fast; scripts/soak.sh runs the uncapped p=5 depth=4 sweep.
+cargo build --release -p caf-check --quiet
+./target/release/caf-check suite --images 3 --depth 2 --crash-scenarios \
+    --max-states 200000 --quiet
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -24,6 +32,8 @@ cargo fmt --all --check
 if [[ "${1:-}" == "--stress" || "${CI_SOAK:-0}" == "1" ]]; then
     echo "== chaos-stress soak =="
     cargo test --quiet -p caf-runtime --features chaos-stress --test chaos
+    echo "== model-checker soak (p=5, depth=4) =="
+    ./target/release/caf-check suite --images 5 --depth 4 --crash-scenarios --quiet
 fi
 
 echo "CI gate passed."

@@ -16,4 +16,13 @@ for ((i = 1; i <= reps; i++)); do
     echo "== chaos-stress soak ($i/$reps) =="
     cargo test --quiet -p caf-runtime --features chaos-stress --test chaos
 done
+
+echo "== model-checker soak (p=5, depth=4) =="
+# The full exploration bound: every curated scenario × detector family at
+# p=5 depth=4 with crash variants, plus the mutation adequacy check.
+# Tens of minutes of CPU — this is the CI_SOAK=1 tier, not the smoke tier.
+cargo build --release -p caf-check --quiet
+./target/release/caf-check suite --images 5 --depth 4 --crash-scenarios --quiet
+./target/release/caf-check mutate >/dev/null
+
 echo "Soak passed ($reps run(s))."

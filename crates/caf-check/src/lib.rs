@@ -28,13 +28,17 @@
 //! that `caf-check replay <file>` and the fixture regression tests
 //! consume. [`capture`] closes the loop with the real runtime: traces
 //! recorded by `caf-runtime` through `caf-core`'s `TraceRecorder` are
-//! validated against the same detector models.
+//! validated against the same detector models. [`plan_bridge`] closes a
+//! second loop, with the static analyzer: every `caf-lint` race or
+//! deadlock diagnostic is checked for realizability by exhaustive
+//! exploration of the plan's dynamic semantics (`caf-check plan-diff`).
 
 pub mod capture;
 pub mod cofence_check;
 pub mod diff;
 pub mod explore;
 pub mod mutation;
+pub mod plan_bridge;
 pub mod replay;
 pub mod scenario;
 pub mod shrink;
@@ -43,6 +47,7 @@ pub mod world;
 
 pub use explore::{explore, Counterexample, ExploreConfig, ExploreStats};
 pub use mutation::{Family, Mutation};
+pub use plan_bridge::{check_plan, explore_plan, PlanAgreement, PlanVerdict};
 pub use replay::Replay;
 pub use scenario::{scenarios, Scenario};
 pub use shrink::shrink;

@@ -34,6 +34,12 @@ USAGE:
   caf-check replay FILE
       Re-execute a counterexample replay file and confirm its expectation.
 
+  caf-check plan-diff [--max-states N] FILE...
+      Differentially validate caf-lint on plan files: every static race
+      must be realized by some explored schedule, no schedule may race
+      where the analysis was silent, and deadlock diagnostics must match
+      reachable stuck states. Exit 1 on any disagreement.
+
 FAMILIES:  epoch-strict  epoch-loose  four-counter
 MUTATIONS: drop-quiescence-wait merge-epochs skip-poison local-verdict
            single-wave-four-counter ack-complete-confusion
@@ -54,6 +60,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(rest),
         "mutate" => cmd_mutate(rest),
         "replay" => cmd_replay(rest),
+        "plan-diff" => cmd_plan_diff(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -356,6 +363,42 @@ fn hunt_mutation(m: Mutation, o: &Opts) -> Option<Counterexample> {
         }
     }
     None
+}
+
+fn cmd_plan_diff(args: &[String]) -> Result<bool, String> {
+    let o = parse_opts(args)?;
+    if o.names.is_empty() {
+        return Err("plan-diff needs at least one plan FILE".into());
+    }
+    let max_states = o.max_states as usize;
+    let mut all_agree = true;
+    for path in &o.names {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let plan = caf_lint::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+        let agreement =
+            caf_check::check_plan(&plan, max_states).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        println!("{name}: {}", agreement.summary());
+        if !agreement.ok() {
+            for k in &agreement.unrealized {
+                println!("  unrealized static race: {} steps {} -> {}", k.0, k.1, k.2);
+            }
+            for k in &agreement.unpredicted {
+                println!("  unpredicted dynamic race: {} steps {} -> {}", k.0, k.1, k.2);
+            }
+            if agreement.lint_deadlock != agreement.verdict.deadlock {
+                match &agreement.verdict.deadlock_sample {
+                    Some(d) => println!("  dynamic deadlock not statically reported: {d}"),
+                    None => println!("  static deadlock diagnostic never realized"),
+                }
+            }
+            all_agree = false;
+        }
+    }
+    Ok(all_agree)
 }
 
 fn cmd_replay(args: &[String]) -> Result<bool, String> {

@@ -1,0 +1,719 @@
+//! Differential oracle for `caf-lint`: exhaustive schedule exploration
+//! of a lowered plan's *dynamic* semantics, checked against the static
+//! happens-before analysis.
+//!
+//! The static analyzer claims races and deadlocks from a per-image
+//! happens-before relation; this module replays the same lowering
+//! ([`caf_lint::ir::Plan::lower`], so operation classification cannot
+//! drift between the two) through an explicit-state explorer in which
+//!
+//! * each asynchronous operation *initiates* at its program point (or
+//!   hoists above an upward-admitting fence run) and *completes* at any
+//!   later point a schedule chooses,
+//! * a `cofence` cannot be passed while an in-flight operation of a
+//!   class it blocks downward is incomplete,
+//! * `finish` ends are collective and require every operation (and
+//!   transitively spawned function instance) tagged to the block to be
+//!   complete, `barrier`s are collective rendezvous,
+//! * events are per-image semaphores; completion events (`notify`) fire
+//!   at operation completion,
+//!
+//! and a **race witness** is recorded whenever a step executes while a
+//! conflicting operation of the same context is still in flight. Scope
+//! note: like the static side, conflicts are tracked per context —
+//! cross-context aliasing on one image (a shipped function's footprint
+//! against its host program's) is out of both models' scope.
+//!
+//! [`check_plan`] then demands exact agreement: every statically
+//! reported race in a reachable context is realized by some explored
+//! schedule, no explored schedule races where the analysis was silent,
+//! and deadlock diagnostics coincide with reachable stuck states.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use caf_lint::hb;
+use caf_lint::ir::{Ctx, CtxId, Lowered, Plan, PlanError, Step, StepKind};
+
+/// A race witness / static race key: context, pending op's step index,
+/// conflicting step index.
+pub type RaceKey = (CtxId, usize, usize);
+
+/// What exploration of a plan found.
+#[derive(Debug, Clone)]
+pub struct PlanVerdict {
+    /// Distinct states visited.
+    pub states: usize,
+    /// True when the state cap cut exploration short.
+    pub truncated: bool,
+    /// Every race witnessed in some schedule.
+    pub races: BTreeSet<RaceKey>,
+    /// Whether some schedule reached a stuck state.
+    pub deadlock: bool,
+    /// Human-readable description of one stuck state, if any.
+    pub deadlock_sample: Option<String>,
+}
+
+/// One dynamic context: an image's program or a spawned function
+/// instance, with its interpreter state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct CtxState {
+    /// Index into the explorer's context table.
+    table: usize,
+    /// Executing image.
+    image: usize,
+    /// Inherited finish ids (spawn chains only; sorted).
+    tags: Vec<usize>,
+    /// Program counter.
+    pc: usize,
+    /// Step indices initiated but not yet complete.
+    inflight: BTreeSet<usize>,
+    /// Step indices initiated early by hoisting (skipped when pc
+    /// reaches them).
+    early: BTreeSet<usize>,
+}
+
+impl CtxState {
+    fn done(&self, steps: &[Step]) -> bool {
+        self.pc >= steps.len() && self.inflight.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    /// Fixed program contexts first, then spawned instances (kept
+    /// sorted — identical instances are interchangeable, so sorting
+    /// canonicalizes the state for deduplication).
+    ctxs: Vec<CtxState>,
+    /// Event semaphores, `image * n_events + event`.
+    sems: Vec<u32>,
+}
+
+struct Explorer<'l> {
+    low: &'l Lowered,
+    /// Context table: programs by rank, then fn bodies in name order.
+    table: Vec<&'l Ctx>,
+    /// fn name → table index.
+    fn_idx: BTreeMap<&'l str, usize>,
+    /// Interned event names.
+    events: Vec<String>,
+    /// Program ranks participating in each finish / barrier id.
+    finish_members: BTreeMap<usize, Vec<usize>>,
+    barrier_members: BTreeMap<usize, Vec<usize>>,
+    races: BTreeSet<RaceKey>,
+    deadlock: Option<String>,
+    max_states: usize,
+}
+
+impl<'l> Explorer<'l> {
+    fn new(low: &'l Lowered, max_states: usize) -> Self {
+        let mut table: Vec<&Ctx> = low.programs.iter().collect();
+        let mut fn_idx = BTreeMap::new();
+        for (name, ctx) in &low.fns {
+            fn_idx.insert(name.as_str(), table.len());
+            table.push(ctx);
+        }
+        let mut events = BTreeSet::new();
+        for ctx in &table {
+            for step in &ctx.steps {
+                match &step.kind {
+                    StepKind::Post(ev) => {
+                        events.insert(ev.event.clone());
+                    }
+                    StepKind::Wait(ev) => {
+                        events.insert(ev.clone());
+                    }
+                    StepKind::Op(op) => {
+                        if let Some(n) = &op.notify {
+                            events.insert(n.event.clone());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut finish_members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut barrier_members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (rank, ctx) in low.programs.iter().enumerate() {
+            for step in &ctx.steps {
+                match step.kind {
+                    StepKind::FinishEnd(id) => finish_members.entry(id).or_default().push(rank),
+                    StepKind::Barrier(id) => barrier_members.entry(id).or_default().push(rank),
+                    _ => {}
+                }
+            }
+        }
+        Explorer {
+            low,
+            table,
+            fn_idx,
+            events: events.into_iter().collect(),
+            finish_members,
+            barrier_members,
+            races: BTreeSet::new(),
+            deadlock: None,
+            max_states,
+        }
+    }
+
+    fn event_idx(&self, name: &str) -> usize {
+        self.events.iter().position(|e| e == name).expect("interned event")
+    }
+
+    fn initial(&self) -> State {
+        let ctxs = (0..self.low.images)
+            .map(|rank| CtxState {
+                table: rank,
+                image: rank,
+                tags: Vec::new(),
+                pc: 0,
+                inflight: BTreeSet::new(),
+                early: BTreeSet::new(),
+            })
+            .collect();
+        let mut s = State { ctxs, sems: vec![0; self.low.images * self.events.len().max(1)] };
+        self.normalize(&mut s);
+        s
+    }
+
+    /// Skips already-initiated (hoisted) steps and canonicalizes the
+    /// spawned-instance tail.
+    fn normalize(&self, s: &mut State) {
+        for cs in &mut s.ctxs {
+            let steps = &self.table[cs.table].steps;
+            while cs.pc < steps.len() && cs.early.contains(&cs.pc) {
+                cs.early.remove(&cs.pc);
+                cs.pc += 1;
+            }
+        }
+        let p = self.low.images;
+        // A finished instance can never act again (its inflight set is
+        // empty and collectives treat "gone" exactly like "done"), so
+        // dropping it keeps the canonical state small.
+        let mut tail: Vec<CtxState> = s.ctxs.split_off(p);
+        tail.retain(|cs| !cs.done(&self.table[cs.table].steps));
+        tail.sort();
+        s.ctxs.extend(tail);
+    }
+
+    fn ctx_id(&self, cs: &CtxState) -> CtxId {
+        self.table[cs.table].id.clone()
+    }
+
+    /// Records races between `step` (about to execute at index `at` in
+    /// `cs`) and the context's in-flight operations.
+    fn record_races(&mut self, cs: &CtxState, at: usize, step: &Step) {
+        let ctx: &Ctx = self.table[cs.table];
+        let steps = &ctx.steps;
+        for &i in &cs.inflight {
+            if i == at {
+                continue;
+            }
+            let op = steps[i].op().expect("inflight is an op");
+            if hb::conflicts(op, step) {
+                self.races.insert((self.ctx_id(cs), i, at));
+            }
+        }
+    }
+
+    /// All successor states of `s`, applying transition effects.
+    fn successors(&mut self, s: &State) -> Vec<State> {
+        let mut out = Vec::new();
+        for (c, cs) in s.ctxs.iter().enumerate() {
+            // Copy the `&'l Ctx` out of the table so the borrow of the
+            // step slice doesn't pin `self` (record_races needs `&mut`).
+            let ctx: &Ctx = self.table[cs.table];
+            let steps = &ctx.steps;
+            // Completion of any in-flight op.
+            for &i in &cs.inflight {
+                let mut next = s.clone();
+                next.ctxs[c].inflight.remove(&i);
+                let op = steps[i].op().expect("inflight is an op").clone();
+                if let Some(ev) = &op.notify {
+                    let target =
+                        ev.image.map_or(cs.image, |t| t.resolve(cs.image, self.low.images));
+                    next.sems[target * self.events.len() + self.event_idx(&ev.event)] += 1;
+                }
+                if let Some((f, t)) = &op.spawn {
+                    let mut tags: BTreeSet<usize> = cs.tags.iter().copied().collect();
+                    tags.extend(steps[i].finishes.iter().copied());
+                    next.ctxs.push(CtxState {
+                        table: self.fn_idx[f.as_str()],
+                        image: t.resolve(cs.image, self.low.images),
+                        tags: tags.into_iter().collect(),
+                        pc: 0,
+                        inflight: BTreeSet::new(),
+                        early: BTreeSet::new(),
+                    });
+                }
+                self.normalize(&mut next);
+                out.push(next);
+            }
+            if cs.pc >= steps.len() {
+                continue;
+            }
+            let step = &steps[cs.pc];
+            match &step.kind {
+                StepKind::Op(_) => {
+                    self.record_races(cs, cs.pc, step);
+                    let mut next = s.clone();
+                    next.ctxs[c].inflight.insert(cs.pc);
+                    next.ctxs[c].pc += 1;
+                    self.normalize(&mut next);
+                    out.push(next);
+                }
+                StepKind::Fence { spec, .. } => {
+                    // Pass the fence only once every op it blocks
+                    // downward has completed.
+                    let blocked = cs.inflight.iter().any(|&i| {
+                        spec.blocks_down(steps[i].op().expect("inflight is an op").access)
+                    });
+                    if !blocked {
+                        let mut next = s.clone();
+                        next.ctxs[c].pc += 1;
+                        self.normalize(&mut next);
+                        out.push(next);
+                    }
+                    // Hoist: the first op after the fence run may
+                    // initiate early if every remaining fence admits its
+                    // class upward.
+                    let mut r = cs.pc;
+                    while r < steps.len() && matches!(steps[r].kind, StepKind::Fence { .. }) {
+                        r += 1;
+                    }
+                    if r < steps.len() && !cs.early.contains(&r) && !cs.inflight.contains(&r) {
+                        if let Some(op) = steps[r].op() {
+                            let admitted = (cs.pc..r).all(|k| match &steps[k].kind {
+                                StepKind::Fence { spec, .. } => spec.admits_up(op.access),
+                                _ => unreachable!("run is fences"),
+                            });
+                            if admitted {
+                                self.record_races(cs, r, &steps[r]);
+                                let mut next = s.clone();
+                                next.ctxs[c].inflight.insert(r);
+                                next.ctxs[c].early.insert(r);
+                                self.normalize(&mut next);
+                                out.push(next);
+                            }
+                        }
+                    }
+                }
+                StepKind::FinishBegin(_) => {
+                    let mut next = s.clone();
+                    next.ctxs[c].pc += 1;
+                    self.normalize(&mut next);
+                    out.push(next);
+                }
+                StepKind::FinishEnd(id) => {
+                    if c == self.first_member_at(s, *id, true) && self.finish_ready(s, *id) {
+                        out.push(self.advance_collective(s, *id, true));
+                    }
+                }
+                StepKind::Barrier(id) => {
+                    if c == self.first_member_at(s, *id, false) && self.barrier_ready(s, *id) {
+                        out.push(self.advance_collective(s, *id, false));
+                    }
+                }
+                StepKind::Post(ev) => {
+                    let target =
+                        ev.image.map_or(cs.image, |t| t.resolve(cs.image, self.low.images));
+                    let mut next = s.clone();
+                    next.sems[target * self.events.len() + self.event_idx(&ev.event)] += 1;
+                    next.ctxs[c].pc += 1;
+                    self.normalize(&mut next);
+                    out.push(next);
+                }
+                StepKind::Wait(ev) => {
+                    let slot = cs.image * self.events.len() + self.event_idx(ev);
+                    if s.sems[slot] > 0 {
+                        let mut next = s.clone();
+                        next.sems[slot] -= 1;
+                        next.ctxs[c].pc += 1;
+                        self.normalize(&mut next);
+                        out.push(next);
+                    }
+                }
+                StepKind::Access { .. } => {
+                    self.record_races(cs, cs.pc, step);
+                    let mut next = s.clone();
+                    next.ctxs[c].pc += 1;
+                    self.normalize(&mut next);
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// The lowest context index sitting at the collective (so the
+    /// transition is emitted once, not once per participant).
+    fn first_member_at(&self, s: &State, id: usize, finish: bool) -> usize {
+        s.ctxs
+            .iter()
+            .position(|cs| {
+                let steps = &self.table[cs.table].steps;
+                cs.pc < steps.len()
+                    && match steps[cs.pc].kind {
+                        StepKind::FinishEnd(k) if finish => k == id,
+                        StepKind::Barrier(k) if !finish => k == id,
+                        _ => false,
+                    }
+            })
+            .expect("caller sits at the collective")
+    }
+
+    fn member_ranks(&self, id: usize, finish: bool) -> &[usize] {
+        let members = if finish { &self.finish_members } else { &self.barrier_members };
+        members.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every member at the end, every tagged op complete, every tagged
+    /// instance finished.
+    fn finish_ready(&self, s: &State, id: usize) -> bool {
+        let arrived = self.member_ranks(id, true).iter().all(|&rank| {
+            let cs = &s.ctxs[rank];
+            let steps = &self.table[cs.table].steps;
+            cs.pc < steps.len() && matches!(steps[cs.pc].kind, StepKind::FinishEnd(k) if k == id)
+        });
+        if !arrived {
+            return false;
+        }
+        s.ctxs.iter().all(|cs| {
+            let steps = &self.table[cs.table].steps;
+            let instance_tagged = cs.tags.contains(&id);
+            if instance_tagged && !cs.done(steps) {
+                return false;
+            }
+            cs.inflight
+                .iter()
+                .all(|&i| !instance_tagged && !steps[i].finishes.contains(&id))
+        })
+    }
+
+    fn barrier_ready(&self, s: &State, id: usize) -> bool {
+        self.member_ranks(id, false).iter().all(|&rank| {
+            let cs = &s.ctxs[rank];
+            let steps = &self.table[cs.table].steps;
+            cs.pc < steps.len() && matches!(steps[cs.pc].kind, StepKind::Barrier(k) if k == id)
+        })
+    }
+
+    fn advance_collective(&self, s: &State, id: usize, finish: bool) -> State {
+        let mut next = s.clone();
+        for &rank in self.member_ranks(id, finish) {
+            next.ctxs[rank].pc += 1;
+        }
+        self.normalize(&mut next);
+        next
+    }
+
+    fn describe_stuck(&self, s: &State) -> String {
+        let mut parts = Vec::new();
+        for cs in &s.ctxs {
+            let steps = &self.table[cs.table].steps;
+            if cs.done(steps) {
+                continue;
+            }
+            let what = if cs.pc < steps.len() {
+                format!("stuck at `{}`", steps[cs.pc].describe())
+            } else {
+                format!("{} op(s) never complete", cs.inflight.len())
+            };
+            parts.push(format!("{} (image {}) {}", self.table[cs.table].id, cs.image, what));
+        }
+        parts.join("; ")
+    }
+
+    fn run(&mut self) -> PlanVerdict {
+        let mut visited: BTreeSet<State> = BTreeSet::new();
+        let mut stack = vec![self.initial()];
+        let mut truncated = false;
+        while let Some(s) = stack.pop() {
+            if !visited.insert(s.clone()) {
+                continue;
+            }
+            if visited.len() >= self.max_states {
+                truncated = true;
+                break;
+            }
+            let succ = self.successors(&s);
+            if succ.is_empty() {
+                let all_done = s.ctxs.iter().all(|cs| cs.done(&self.table[cs.table].steps));
+                if !all_done && self.deadlock.is_none() {
+                    self.deadlock = Some(self.describe_stuck(&s));
+                }
+                continue;
+            }
+            stack.extend(succ);
+        }
+        PlanVerdict {
+            states: visited.len(),
+            truncated,
+            races: self.races.clone(),
+            deadlock: self.deadlock.is_some(),
+            deadlock_sample: self.deadlock.clone(),
+        }
+    }
+}
+
+/// Exhaustively explores the dynamic semantics of a lowered plan.
+pub fn explore_plan(low: &Lowered, max_states: usize) -> PlanVerdict {
+    Explorer::new(low, max_states).run()
+}
+
+/// Functions reachable through spawn chains from some image's program —
+/// the contexts the dynamic explorer can actually instantiate.
+fn reachable_fns(low: &Lowered) -> BTreeSet<String> {
+    let mut reach: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        let hosts: Vec<&Ctx> = low
+            .programs
+            .iter()
+            .chain(low.fns.iter().filter(|(n, _)| reach.contains(*n)).map(|(_, c)| c))
+            .collect();
+        for ctx in hosts {
+            for step in &ctx.steps {
+                if let Some((f, _)) = step.op().and_then(|o| o.spawn.as_ref()) {
+                    changed |= reach.insert(f.clone());
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    reach
+}
+
+/// The static race set over reachable contexts, keyed the same way the
+/// explorer keys witnesses.
+pub fn static_races(low: &Lowered) -> BTreeSet<RaceKey> {
+    let reach = reachable_fns(low);
+    let mut out = BTreeSet::new();
+    for ctx in low
+        .programs
+        .iter()
+        .chain(low.fns.iter().filter(|(n, _)| reach.contains(*n)).map(|(_, c)| c))
+    {
+        for r in hb::races(ctx) {
+            out.insert((ctx.id.clone(), r.op_idx, r.acc_idx));
+        }
+    }
+    out
+}
+
+/// The differential verdict for one plan.
+#[derive(Debug, Clone)]
+pub struct PlanAgreement {
+    /// Exploration outcome.
+    pub verdict: PlanVerdict,
+    /// The static claim being checked.
+    pub static_races: BTreeSet<RaceKey>,
+    /// Static races no explored schedule realized (soundness gap —
+    /// must be empty).
+    pub unrealized: Vec<RaceKey>,
+    /// Witnessed races the static analysis missed (completeness gap —
+    /// must be empty).
+    pub unpredicted: Vec<RaceKey>,
+    /// Whether `caf-lint` reported a guaranteed-stuck schedule.
+    pub lint_deadlock: bool,
+}
+
+impl PlanAgreement {
+    /// Do the static and dynamic semantics agree (without truncation)?
+    pub fn ok(&self) -> bool {
+        self.unrealized.is_empty()
+            && self.unpredicted.is_empty()
+            && self.lint_deadlock == self.verdict.deadlock
+            && !self.verdict.truncated
+    }
+
+    /// One-line report.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} states, {} static race(s), {} realized, {} unpredicted, \
+             deadlock static={} dynamic={}{} — {}",
+            self.verdict.states,
+            self.static_races.len(),
+            self.static_races.len() - self.unrealized.len(),
+            self.unpredicted.len(),
+            if self.lint_deadlock { "yes" } else { "no" },
+            if self.verdict.deadlock { "yes" } else { "no" },
+            if self.verdict.truncated { " [TRUNCATED]" } else { "" },
+            if self.ok() { "AGREE" } else { "DISAGREE" },
+        )
+    }
+}
+
+/// Lints a plan and checks every diagnostic against exhaustive
+/// exploration of the same lowering.
+pub fn check_plan(plan: &Plan, max_states: usize) -> Result<PlanAgreement, PlanError> {
+    let low = plan.lower()?;
+    let diags = caf_lint::lint_lowered(&low);
+    let statics = static_races(&low);
+    let verdict = explore_plan(&low, max_states);
+    let unrealized = statics.difference(&verdict.races).cloned().collect();
+    let unpredicted = verdict.races.difference(&statics).cloned().collect();
+    Ok(PlanAgreement {
+        static_races: statics,
+        unrealized,
+        unpredicted,
+        lint_deadlock: diags.iter().any(|d| d.deadlock),
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_core::cofence::{CofenceSpec, Pass};
+    use caf_lint::builder::PlanBuilder;
+    use caf_lint::ir::Target;
+
+    const CAP: usize = 200_000;
+
+    fn agree(plan: &Plan) -> PlanAgreement {
+        check_plan(plan, CAP).expect("plan lowers")
+    }
+
+    #[test]
+    fn clean_fenced_plan_agrees_with_no_races() {
+        let plan = PlanBuilder::new(2)
+            .coarray("a")
+            .all(|b| {
+                b.finish(|b| {
+                    b.put("a", 1);
+                    b.cofence(CofenceSpec::new(Pass::Writes, Pass::Any));
+                    b.write("a");
+                });
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        assert!(a.static_races.is_empty());
+        assert!(!a.verdict.deadlock);
+    }
+
+    #[test]
+    fn missing_fence_race_is_realized() {
+        let plan = PlanBuilder::new(2)
+            .coarray("a")
+            .all(|b| {
+                b.finish(|b| {
+                    b.put("a", 1);
+                    b.write("a");
+                });
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        // One race per image context (both images run the same block).
+        assert_eq!(a.static_races.len(), 2);
+        assert!(a.unrealized.is_empty(), "static race must be realizable");
+    }
+
+    #[test]
+    fn upward_hoist_race_is_realized_dynamically() {
+        // get; cofence(NONE, READ); put — the put hoists above the
+        // fence and overlaps the incomplete get.
+        let plan = PlanBuilder::new(2)
+            .coarray("a")
+            .all(|b| {
+                b.finish(|b| {
+                    b.get("a", 1);
+                    b.cofence(CofenceSpec::new(Pass::None, Pass::Reads));
+                    b.put("a", 1);
+                });
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        assert_eq!(a.static_races.len(), 2);
+        // The full fence closes the hoist channel: both sides clean.
+        let plan = PlanBuilder::new(2)
+            .coarray("a")
+            .all(|b| {
+                b.finish(|b| {
+                    b.get("a", 1);
+                    b.cofence(CofenceSpec::FULL);
+                    b.put("a", 1);
+                });
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        assert!(a.static_races.is_empty());
+    }
+
+    #[test]
+    fn wait_inside_finish_deadlocks_both_ways() {
+        let plan = PlanBuilder::new(2)
+            .event("go")
+            .all(|b| {
+                b.finish(|b| b.wait("go"));
+                b.post("go", Some(1));
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.lint_deadlock);
+        assert!(a.verdict.deadlock, "{:?}", a.verdict.deadlock_sample);
+        assert!(a.ok(), "{}", a.summary());
+    }
+
+    #[test]
+    fn spawned_post_rescues_the_finish() {
+        let plan = PlanBuilder::new(2)
+            .event("go")
+            .func("poster", |b| b.post("go", Some(-1)))
+            .all(|b| {
+                b.finish(|b| {
+                    b.spawn("poster", Target::Rel(1));
+                    b.wait("go");
+                });
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(!a.lint_deadlock);
+        assert!(!a.verdict.deadlock, "{:?}", a.verdict.deadlock_sample);
+        assert!(a.ok(), "{}", a.summary());
+    }
+
+    #[test]
+    fn race_inside_spawned_fn_is_realized() {
+        let plan = PlanBuilder::new(3)
+            .coarray("a")
+            .func("leaky", |b| {
+                b.put("a", 1);
+                b.write("a");
+            })
+            .all(|b| {
+                b.finish(|b| b.spawn("leaky", Target::Rel(1)));
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        assert_eq!(a.static_races.len(), 1);
+        let (ctx, _, _) = a.static_races.iter().next().unwrap();
+        assert_eq!(*ctx, CtxId::Func("leaky".into()));
+    }
+
+    #[test]
+    fn barrier_rendezvous_and_notify_events_work() {
+        // Producer/consumer across the ring: each image puts into its
+        // neighbor and waits for its own in-buffer, then barriers.
+        let plan = PlanBuilder::new(3)
+            .coarray("inbox")
+            .event("delivered")
+            .all(|b| {
+                b.put_notify("inbox", 1, "delivered");
+                b.wait("delivered");
+                b.barrier();
+                b.read("inbox");
+            })
+            .build();
+        let a = agree(&plan);
+        assert!(a.ok(), "{}", a.summary());
+        assert!(a.static_races.is_empty());
+        assert!(!a.verdict.deadlock);
+    }
+}

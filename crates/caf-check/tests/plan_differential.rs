@@ -1,0 +1,109 @@
+//! The differential oracle between `caf-lint` (static happens-before)
+//! and `caf-check` (exhaustive plan exploration), run over the shipped
+//! corpus: every race or deadlock the linter reports on a fixture must
+//! be realizable in some explored interleaving, and every clean example
+//! plan must be counterexample-free under exhaustive search.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use caf_check::check_plan;
+use caf_lint::{lint, parse, Analysis, Plan};
+
+/// Comfortably above the largest corpus plan (stencil: ~11k states).
+const CAP: usize = 300_000;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn plan_files(dir: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(repo_root().join(dir))
+        .unwrap_or_else(|e| panic!("reading {dir}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no .plan files under {dir}");
+    out
+}
+
+fn load(path: &Path) -> Plan {
+    let src = fs::read_to_string(path).unwrap();
+    parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn example_plans_are_clean_and_counterexample_free() {
+    let files = plan_files("examples/plans");
+    assert_eq!(files.len(), 5, "expected the five example plans");
+    for path in files {
+        let plan = load(&path);
+        let diags = lint(&plan).unwrap();
+        assert!(
+            diags.iter().all(|d| !d.is_error()),
+            "{}: unexpected error diagnostics {diags:?}",
+            path.display()
+        );
+        let a = check_plan(&plan, CAP).unwrap();
+        assert!(a.ok(), "{}: {}", path.display(), a.summary());
+        assert!(
+            a.verdict.races.is_empty() && !a.verdict.deadlock,
+            "{}: explorer found a counterexample in a lint-clean plan: {}",
+            path.display(),
+            a.summary()
+        );
+    }
+}
+
+#[test]
+fn fixture_diagnostics_are_realizable() {
+    let files = plan_files("tests/fixtures/lints");
+    assert!(files.len() >= 8, "seeded-misuse corpus shrank to {}", files.len());
+    for path in files {
+        let plan = load(&path);
+        let a = check_plan(&plan, CAP).unwrap();
+        // `ok()` asserts both directions: every static race was realized
+        // in some interleaving, no dynamic race was unpredicted, and the
+        // deadlock verdicts agree.
+        assert!(a.ok(), "{}: {}", path.display(), a.summary());
+    }
+}
+
+#[test]
+fn fixture_corpus_spans_all_four_analyses() {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut distinct = std::collections::BTreeSet::new();
+    for path in plan_files("tests/fixtures/lints") {
+        for d in lint(&load(&path)).unwrap() {
+            seen.insert(d.analysis);
+            distinct.insert((d.analysis, d.message.clone()));
+        }
+    }
+    for a in [Analysis::Race, Analysis::Fence, Analysis::Finish, Analysis::Event] {
+        assert!(seen.contains(&a), "no fixture exercises the {a:?} analysis");
+    }
+    assert!(distinct.len() >= 8, "only {} distinct diagnostics", distinct.len());
+}
+
+#[test]
+fn deleting_a_needed_fence_is_flagged_by_both_sides() {
+    for name in ["stencil", "pipeline"] {
+        let src =
+            fs::read_to_string(repo_root().join(format!("examples/plans/{name}.plan"))).unwrap();
+        let mutated: String = src
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("cofence"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let plan = parse(&mutated).unwrap();
+        let diags = lint(&plan).unwrap();
+        assert!(
+            diags.iter().any(|d| d.is_error() && d.analysis == Analysis::Race),
+            "{name}: fence deletion went unnoticed statically: {diags:?}"
+        );
+        let a = check_plan(&plan, CAP).unwrap();
+        assert!(a.ok(), "{name} mutant: {}", a.summary());
+        assert!(!a.verdict.races.is_empty(), "{name} mutant: explorer never realized the race");
+    }
+}

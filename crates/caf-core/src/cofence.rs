@@ -34,6 +34,46 @@ pub enum Pass {
 }
 
 impl Pass {
+    /// Every pass value, in strictness order (most permissive first).
+    /// Shared by the model checker's matrix enumeration and the static
+    /// analyzer's fence-weakening search so both walk the same lattice.
+    pub const ALL: [Pass; 4] = [Pass::Any, Pass::Reads, Pass::Writes, Pass::None];
+
+    /// The surface spelling of this pass argument (`NONE`/`READ`/
+    /// `WRITE`/`ANY`), as the paper writes it and as plan files spell it
+    /// (case-insensitively).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pass::None => "NONE",
+            Pass::Reads => "READ",
+            Pass::Writes => "WRITE",
+            Pass::Any => "ANY",
+        }
+    }
+
+    /// Parses [`Pass::label`] (case-insensitive). The inverse lives here
+    /// rather than in each frontend so the lint parser, the plan
+    /// renderer, and the CLI all agree on the spelling.
+    pub fn parse(s: &str) -> Result<Pass, String> {
+        match s.to_ascii_uppercase().as_str() {
+            "NONE" => Ok(Pass::None),
+            "READ" | "READS" => Ok(Pass::Reads),
+            "WRITE" | "WRITES" => Ok(Pass::Writes),
+            "ANY" => Ok(Pass::Any),
+            other => Err(format!("unknown cofence pass {other:?} (want NONE|READ|WRITE|ANY)")),
+        }
+    }
+
+    /// How much this argument blocks: 0 (`ANY`, nothing) to 2 (`NONE`,
+    /// everything). `READ` and `WRITE` are incomparable and share rank 1.
+    pub fn strictness(self) -> u8 {
+        match self {
+            Pass::Any => 0,
+            Pass::Reads | Pass::Writes => 1,
+            Pass::None => 2,
+        }
+    }
+
     /// Does this permission admit an operation with the given local
     /// access pattern?
     #[inline]
@@ -116,6 +156,16 @@ impl CofenceSpec {
         self.upward.admits(access)
     }
 
+    /// Renders the statement as the paper spells it: `cofence()` for the
+    /// full fence, `cofence(DOWNWARD=…, UPWARD=…)` otherwise.
+    pub fn render(&self) -> String {
+        if *self == CofenceSpec::FULL {
+            "cofence()".to_string()
+        } else {
+            format!("cofence(DOWNWARD={}, UPWARD={})", self.downward.label(), self.upward.label())
+        }
+    }
+
     /// Is `self` at least as permissive as `other` in both directions?
     /// (Used by monotonicity property tests: anything that crosses a
     /// stricter fence crosses a looser one.)
@@ -186,6 +236,22 @@ mod tests {
         // never registering such ops as pending.
         assert!(CofenceSpec::FULL.blocks_down(LocalAccess::NONE));
         assert!(!CofenceSpec::new(Pass::Any, Pass::None).blocks_down(LocalAccess::NONE));
+    }
+
+    #[test]
+    fn labels_round_trip_and_render_matches_the_paper() {
+        for p in Pass::ALL {
+            assert_eq!(Pass::parse(p.label()).unwrap(), p);
+            assert_eq!(Pass::parse(&p.label().to_lowercase()).unwrap(), p);
+        }
+        assert!(Pass::parse("sideways").is_err());
+        assert_eq!(CofenceSpec::FULL.render(), "cofence()");
+        assert_eq!(
+            CofenceSpec::new(Pass::Writes, Pass::Any).render(),
+            "cofence(DOWNWARD=WRITE, UPWARD=ANY)"
+        );
+        assert_eq!(Pass::Any.strictness(), 0);
+        assert_eq!(Pass::None.strictness(), 2);
     }
 
     #[test]

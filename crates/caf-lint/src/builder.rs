@@ -1,0 +1,205 @@
+//! Programmatic plan construction — the first of the three frontends.
+//!
+//! ```
+//! use caf_core::cofence::{CofenceSpec, Pass};
+//! use caf_lint::builder::PlanBuilder;
+//!
+//! let plan = PlanBuilder::new(4).coarray("buf").all(|b| {
+//!     b.finish(|b| {
+//!         b.put("buf", 1); // copy buf -> buf@+1
+//!         b.cofence(CofenceSpec::new(Pass::Writes, Pass::Any));
+//!         b.write("buf");
+//!     });
+//! }).build();
+//! assert!(caf_lint::lint(&plan).unwrap().is_empty());
+//! ```
+
+use caf_core::cofence::CofenceSpec;
+
+use crate::ir::{Block, EventRef, FnDef, MemRef, Plan, Stmt, StmtKind, Target};
+
+/// Builds a [`Plan`] fluently. Blocks and function bodies are populated
+/// through [`BodyBuilder`] closures.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Plan,
+}
+
+impl PlanBuilder {
+    /// A plan over `images` images, with nothing declared yet.
+    pub fn new(images: usize) -> Self {
+        PlanBuilder {
+            plan: Plan {
+                images,
+                coarrays: Vec::new(),
+                events: Vec::new(),
+                fns: Vec::new(),
+                blocks: Vec::new(),
+            },
+        }
+    }
+
+    /// Declares a coarray.
+    pub fn coarray(mut self, name: &str) -> Self {
+        self.plan.coarrays.push(name.to_string());
+        self
+    }
+
+    /// Declares an event.
+    pub fn event(mut self, name: &str) -> Self {
+        self.plan.events.push(name.to_string());
+        self
+    }
+
+    /// Defines a spawnable function.
+    pub fn func(mut self, name: &str, f: impl FnOnce(&mut BodyBuilder)) -> Self {
+        let mut b = BodyBuilder::default();
+        f(&mut b);
+        self.plan.fns.push(FnDef { name: name.to_string(), body: b.stmts });
+        self
+    }
+
+    /// Appends a block executed by every image.
+    pub fn all(mut self, f: impl FnOnce(&mut BodyBuilder)) -> Self {
+        let mut b = BodyBuilder::default();
+        f(&mut b);
+        self.plan.blocks.push(Block { image: None, body: b.stmts });
+        self
+    }
+
+    /// Appends a block executed only by rank `image`.
+    pub fn on(mut self, image: usize, f: impl FnOnce(&mut BodyBuilder)) -> Self {
+        let mut b = BodyBuilder::default();
+        f(&mut b);
+        self.plan.blocks.push(Block { image: Some(image), body: b.stmts });
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Plan {
+        self.plan
+    }
+}
+
+/// Builds one statement sequence (a block, a `finish` body, or a
+/// function body).
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    stmts: Vec<Stmt>,
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt { kind, line: 0 }
+}
+
+impl BodyBuilder {
+    /// `copy src -> dst` with full endpoint control.
+    pub fn copy(&mut self, src: MemRef, dst: MemRef) {
+        self.stmts.push(stmt(StmtKind::Copy { src, dst, notify: None }));
+    }
+
+    /// `copy src -> dst notify ev` — completion signalled on `ev`.
+    pub fn copy_notify(&mut self, src: MemRef, dst: MemRef, ev: EventRef) {
+        self.stmts.push(stmt(StmtKind::Copy { src, dst, notify: Some(ev) }));
+    }
+
+    /// Shorthand put: `copy v -> v@+k` (local source, reads local).
+    pub fn put(&mut self, var: &str, k: i64) {
+        self.copy(MemRef::local(var), MemRef::at(var, Target::Rel(k)));
+    }
+
+    /// Shorthand put with a local completion event.
+    pub fn put_notify(&mut self, var: &str, k: i64, ev: &str) {
+        self.copy_notify(
+            MemRef::local(var),
+            MemRef::at(var, Target::Rel(k)),
+            EventRef { event: ev.to_string(), image: None },
+        );
+    }
+
+    /// Shorthand get: `copy v@+k -> v` (local destination, writes local).
+    pub fn get(&mut self, var: &str, k: i64) {
+        self.copy(MemRef::at(var, Target::Rel(k)), MemRef::local(var));
+    }
+
+    /// `cofence` with the given pass pair.
+    pub fn cofence(&mut self, spec: CofenceSpec) {
+        self.stmts.push(stmt(StmtKind::Cofence(spec)));
+    }
+
+    /// `finish { … }`.
+    pub fn finish(&mut self, f: impl FnOnce(&mut BodyBuilder)) {
+        let mut b = BodyBuilder::default();
+        f(&mut b);
+        self.stmts.push(stmt(StmtKind::Finish(b.stmts)));
+    }
+
+    /// `spawn func @target`.
+    pub fn spawn(&mut self, func: &str, target: Target) {
+        self.stmts
+            .push(stmt(StmtKind::Spawn { func: func.to_string(), target, notify: None }));
+    }
+
+    /// `spawn func @target notify ev` (the runtime's `spawn_notify`).
+    pub fn spawn_notify(&mut self, func: &str, target: Target, ev: EventRef) {
+        self.stmts
+            .push(stmt(StmtKind::Spawn { func: func.to_string(), target, notify: Some(ev) }));
+    }
+
+    /// `post ev` locally, or `post ev@k` on a relative target.
+    pub fn post(&mut self, ev: &str, target: Option<i64>) {
+        self.stmts.push(stmt(StmtKind::Post(EventRef {
+            event: ev.to_string(),
+            image: target.map(Target::Rel),
+        })));
+    }
+
+    /// `wait ev` on the executing image's instance.
+    pub fn wait(&mut self, ev: &str) {
+        self.stmts.push(stmt(StmtKind::Wait(ev.to_string())));
+    }
+
+    /// `barrier`.
+    pub fn barrier(&mut self) {
+        self.stmts.push(stmt(StmtKind::Barrier));
+    }
+
+    /// `read v`.
+    pub fn read(&mut self, var: &str) {
+        self.stmts.push(stmt(StmtKind::Access { var: var.to_string(), write: false }));
+    }
+
+    /// `write v`.
+    pub fn write(&mut self, var: &str) {
+        self.stmts.push(stmt(StmtKind::Access { var: var.to_string(), write: true }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_core::cofence::Pass;
+
+    #[test]
+    fn builder_produces_a_lowerable_plan() {
+        let plan = PlanBuilder::new(3)
+            .coarray("a")
+            .event("done")
+            .func("handler", |b| b.write("a"))
+            .all(|b| {
+                b.barrier();
+                b.finish(|b| {
+                    b.spawn("handler", Target::Rel(1));
+                });
+                b.put("a", 1);
+                b.cofence(CofenceSpec::new(Pass::Writes, Pass::Any));
+                b.write("a");
+            })
+            .on(0, |b| b.post("done", Some(1)))
+            .build();
+        let low = plan.lower().unwrap();
+        assert_eq!(low.programs.len(), 3);
+        // Only image 0 carries the guarded post.
+        assert_eq!(low.programs[0].steps.len(), low.programs[1].steps.len() + 1);
+    }
+}

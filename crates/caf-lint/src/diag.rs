@@ -1,0 +1,803 @@
+//! The diagnostic engine: four analyses over a lowered plan.
+//!
+//! 1. **Missing-fence races** — a local access (or a later op's local
+//!    footprint) conflicts with an implicitly-completed async operation
+//!    that no fence, finish end, or awaited completion event orders
+//!    before it ([`crate::hb`]).
+//! 2. **Redundant / over-strong fences** — for every explicit `cofence`
+//!    the engine searches the 16-point pass lattice for the most
+//!    permissive pair that introduces no new race, by re-running the
+//!    race analysis with the candidate substituted. If that pair is
+//!    strictly weaker than what the plan wrote, the fence is reported
+//!    with the minimal sufficient direction pair — a performance win,
+//!    since every class a fence needlessly blocks is overlap thrown
+//!    away. Each suggestion is individually safe: it holds with every
+//!    *other* fence as written.
+//! 3. **Finish-coverage leaks** — async operations (and transitively
+//!    spawned functions) neither enclosed by a `finish` nor covered by a
+//!    completion event somebody waits on: nothing guarantees their
+//!    global completion.
+//! 4. **Event misuse** — waits that can never be satisfied (no or too
+//!    few posts), leftover posts, and waits inside a `finish` whose
+//!    every post is positioned after that finish completes — the
+//!    wait-inside-finish cycle that deadlocks the termination-detection
+//!    waves.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
+
+use crate::hb;
+use crate::ir::{Ctx, CtxId, Lowered, Plan, PlanError, Step, StepKind};
+
+/// Diagnostic severity: errors are correctness hazards, warnings are
+/// performance or hygiene findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A correctness hazard.
+    Error,
+    /// A performance or hygiene finding.
+    Warning,
+}
+
+/// Which analysis produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Analysis {
+    /// Missing-fence race.
+    Race,
+    /// Redundant or over-strong fence.
+    Fence,
+    /// Finish-coverage leak.
+    Finish,
+    /// Event misuse.
+    Event,
+}
+
+impl Analysis {
+    /// Stable lowercase tag used in rendered output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Analysis::Race => "race",
+            Analysis::Fence => "fence",
+            Analysis::Finish => "finish",
+            Analysis::Event => "event",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Producing analysis.
+    pub analysis: Analysis,
+    /// Where it applies: `all images`, `image 2`, `images 0,2`, `fn f`.
+    pub scope: String,
+    /// 1-based source line (0 for builder plans).
+    pub line: usize,
+    /// Human-readable finding.
+    pub message: String,
+    /// True when the finding is a guaranteed-stuck schedule (used by the
+    /// `caf-check` differential oracle, which must reproduce it).
+    pub deadlock: bool,
+}
+
+impl Diagnostic {
+    /// Is this an error-severity finding?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{sev}[{}] line {} ({}): {}",
+            self.analysis.tag(),
+            self.line,
+            self.scope,
+            self.message
+        )
+    }
+}
+
+fn access_label(a: LocalAccess) -> &'static str {
+    match (a.reads, a.writes) {
+        (true, false) => "local-READ",
+        (false, true) => "local-WRITE",
+        (true, true) => "local-READ-WRITE",
+        (false, false) => "no-local-access",
+    }
+}
+
+/// Lints a plan: lowers it, runs all four analyses, and returns the
+/// findings sorted deterministically (line, analysis, message) with
+/// per-image duplicates merged.
+pub fn lint(plan: &Plan) -> Result<Vec<Diagnostic>, PlanError> {
+    let low = plan.lower()?;
+    Ok(lint_lowered(&low))
+}
+
+/// [`lint`] over an already-lowered plan.
+pub fn lint_lowered(low: &Lowered) -> Vec<Diagnostic> {
+    let mut raw: Vec<(CtxId, Diagnostic)> = Vec::new();
+    for ctx in low.programs.iter().chain(low.fns.values()) {
+        race_analysis(ctx, &mut raw);
+        fence_analysis(ctx, &mut raw);
+    }
+    finish_analysis(low, &mut raw);
+    event_analysis(low, &mut raw);
+    merge(low, raw)
+}
+
+// ---------------------------------------------------------------------
+// Analysis 1: missing-fence races
+// ---------------------------------------------------------------------
+
+fn race_analysis(ctx: &Ctx, out: &mut Vec<(CtxId, Diagnostic)>) {
+    for race in hb::races(ctx) {
+        let op_step = &ctx.steps[race.op_idx];
+        let op = op_step.op().expect("race op index");
+        let acc = &ctx.steps[race.acc_idx];
+        out.push((
+            ctx.id.clone(),
+            Diagnostic {
+                severity: Severity::Error,
+                analysis: Analysis::Race,
+                scope: String::new(),
+                line: acc.line,
+                message: format!(
+                    "`{}` may race with `{}` (line {}), still pending {} completion: no fence, \
+                     finish end, or awaited completion event orders them",
+                    acc.describe(),
+                    op.desc,
+                    op_step.line,
+                    access_label(op.access),
+                ),
+                deadlock: false,
+            },
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 2: redundant / over-strong fences
+// ---------------------------------------------------------------------
+
+/// All 16 pass pairs, most permissive first (strictness sum ascending,
+/// ties in [`Pass::ALL`] order — deterministic).
+fn candidates() -> Vec<CofenceSpec> {
+    let mut all: Vec<CofenceSpec> = Pass::ALL
+        .into_iter()
+        .flat_map(|d| Pass::ALL.into_iter().map(move |u| CofenceSpec::new(d, u)))
+        .collect();
+    all.sort_by_key(|c| c.downward.strictness() as u32 + c.upward.strictness() as u32);
+    all
+}
+
+fn fence_analysis(ctx: &Ctx, out: &mut Vec<(CtxId, Diagnostic)>) {
+    let baseline: BTreeSet<hb::Race> = hb::races(ctx).into_iter().collect();
+    for (k, step) in ctx.steps.iter().enumerate() {
+        let StepKind::Fence { spec, explicit: true } = step.kind else { continue };
+        let mut best = spec;
+        for cand in candidates() {
+            if !cand.at_least_as_permissive(&spec) {
+                continue; // only suggest strictly comparable weakenings
+            }
+            let mut probe: Vec<Step> = ctx.steps.to_vec();
+            probe[k].kind = StepKind::Fence { spec: cand, explicit: true };
+            let races: BTreeSet<hb::Race> = hb::races_of_steps(&probe).into_iter().collect();
+            if races.is_subset(&baseline) {
+                best = cand;
+                break; // candidates are ranked: the first hit is minimal
+            }
+        }
+        if best == spec {
+            continue;
+        }
+        let message = if best == CofenceSpec::new(Pass::Any, Pass::Any) {
+            format!(
+                "`{}` orders nothing that any later access relies on — it can be deleted \
+                 (every class it blocks is overlap thrown away)",
+                spec.render()
+            )
+        } else {
+            format!(
+                "`{}` is stronger than needed: {} is the minimal sufficient direction pair here",
+                spec.render(),
+                best.render()
+            )
+        };
+        out.push((
+            ctx.id.clone(),
+            Diagnostic {
+                severity: Severity::Warning,
+                analysis: Analysis::Fence,
+                scope: String::new(),
+                line: step.line,
+                message,
+                deadlock: false,
+            },
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 3: finish-coverage leaks
+// ---------------------------------------------------------------------
+
+/// Is some `wait` on `event` present anywhere in the plan?
+fn event_is_awaited(low: &Lowered, event: &str) -> bool {
+    low.programs
+        .iter()
+        .chain(low.fns.values())
+        .flat_map(|c| &c.steps)
+        .any(|s| matches!(&s.kind, StepKind::Wait(e) if e == event))
+}
+
+/// Which functions are *covered*: every spawn site that can reach them
+/// is syntactically covered (inside a finish or notify-awaited) and
+/// lives in a covered context. Never-spawned functions are vacuously
+/// covered (their bodies never run).
+fn covered_fns(low: &Lowered) -> BTreeMap<String, bool> {
+    // sites[f] = list of (context is a covered fn? None = program, Some(g) = inside g, site covered syntactically)
+    let mut sites: BTreeMap<String, Vec<(Option<String>, bool)>> = BTreeMap::new();
+    for ctx in low.programs.iter().chain(low.fns.values()) {
+        let host = match &ctx.id {
+            CtxId::Program(_) => None,
+            CtxId::Func(name) => Some(name.clone()),
+        };
+        for step in &ctx.steps {
+            let Some(op) = step.op() else { continue };
+            let Some((f, _)) = &op.spawn else { continue };
+            let syntactic = !step.finishes.is_empty()
+                || op.notify.as_ref().is_some_and(|n| event_is_awaited(low, &n.event));
+            sites.entry(f.clone()).or_default().push((host.clone(), syntactic));
+        }
+    }
+    let mut covered: BTreeMap<String, bool> = low.fns.keys().map(|f| (f.clone(), true)).collect();
+    // Greatest fixpoint: flip to uncovered while any reaching site leaks.
+    loop {
+        let mut changed = false;
+        for (f, fsites) in &sites {
+            if !covered.get(f).copied().unwrap_or(true) {
+                continue;
+            }
+            let ok = fsites.iter().all(|(host, syntactic)| match host {
+                // A program site must be syntactically covered; a site
+                // inside a covered fn is tracked transitively by the
+                // finish that (eventually) spawned the host, so its own
+                // syntax is moot.
+                None => *syntactic,
+                Some(g) => *syntactic || covered.get(g).copied().unwrap_or(false),
+            });
+            if !ok {
+                covered.insert(f.clone(), false);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    covered
+}
+
+fn finish_analysis(low: &Lowered, out: &mut Vec<(CtxId, Diagnostic)>) {
+    let covered = covered_fns(low);
+    let spawned: BTreeSet<&String> = low
+        .programs
+        .iter()
+        .chain(low.fns.values())
+        .flat_map(|c| &c.steps)
+        .filter_map(|s| s.op().and_then(|o| o.spawn.as_ref()).map(|(f, _)| f))
+        .collect();
+    for ctx in low.programs.iter().chain(low.fns.values()) {
+        // An op inside a covered fn body is tracked by the finish that
+        // (transitively) spawned it; inside an uncovered-but-spawned fn
+        // every op leaks. Never-spawned fn bodies are dead code: skip.
+        let (host_covered, host_live) = match &ctx.id {
+            CtxId::Program(_) => (false, true),
+            CtxId::Func(name) => {
+                (covered.get(name).copied().unwrap_or(false), spawned.contains(name))
+            }
+        };
+        if !host_live {
+            continue;
+        }
+        for step in &ctx.steps {
+            let Some(op) = step.op() else { continue };
+            let enclosed = host_covered || !step.finishes.is_empty();
+            let awaited = op.notify.as_ref().is_some_and(|n| event_is_awaited(low, &n.event));
+            if enclosed || awaited {
+                continue;
+            }
+            let detail = if matches!(ctx.id, CtxId::Func(_)) {
+                "reached through a spawn chain that escapes every finish"
+            } else {
+                "not enclosed by any finish and its completion event is never awaited"
+            };
+            out.push((
+                ctx.id.clone(),
+                Diagnostic {
+                    severity: Severity::Error,
+                    analysis: Analysis::Finish,
+                    scope: String::new(),
+                    line: step.line,
+                    message: format!(
+                        "finish-coverage leak: `{}` is {detail} — nothing guarantees its \
+                         global completion",
+                        op.desc
+                    ),
+                    deadlock: false,
+                },
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis 4: event misuse
+// ---------------------------------------------------------------------
+
+/// Posts of `event` (explicit `post` steps and op `notify` attachments)
+/// that can execute before finish `fid` completes, given which functions
+/// can start before it completes.
+fn post_rescues(low: &Lowered, event: &str, fid: usize) -> bool {
+    // Fixpoint over functions: a fn can run before the finish completes
+    // iff some spawn site of it is positioned before the finish's end
+    // (inside it counts) in a context that itself can run.
+    let mut early_fns: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for ctx in low.programs.iter().chain(low.fns.values()) {
+            let ctx_early = match &ctx.id {
+                CtxId::Program(_) => true,
+                CtxId::Func(name) => early_fns.contains(name),
+            };
+            if !ctx_early {
+                continue;
+            }
+            for step in steps_before_finish_end(ctx, fid) {
+                if let Some((f, _)) = step.op().and_then(|o| o.spawn.as_ref()) {
+                    if early_fns.insert(f.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for ctx in low.programs.iter().chain(low.fns.values()) {
+        let ctx_early = match &ctx.id {
+            CtxId::Program(_) => true,
+            CtxId::Func(name) => early_fns.contains(name),
+        };
+        if !ctx_early {
+            continue;
+        }
+        for step in steps_before_finish_end(ctx, fid) {
+            let posts_here = match &step.kind {
+                StepKind::Post(ev) => ev.event == event,
+                StepKind::Op(op) => op.notify.as_ref().is_some_and(|n| n.event == event),
+                _ => false,
+            };
+            if posts_here {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The steps of `ctx` positioned before finish `fid` completes: for a
+/// program context, everything before its `FinishEnd(fid)` (the whole
+/// context when it never rendezvouses on `fid`); function bodies run
+/// entirely before it (their *spawn sites* already gated whether they
+/// start).
+fn steps_before_finish_end(ctx: &Ctx, fid: usize) -> impl Iterator<Item = &Step> {
+    let cut = ctx
+        .steps
+        .iter()
+        .position(|s| matches!(s.kind, StepKind::FinishEnd(id) if id == fid))
+        .unwrap_or(ctx.steps.len());
+    ctx.steps[..cut].iter()
+}
+
+/// Per-event post/wait accounting. Events are per-image semaphores, so
+/// the balance check runs per *instance*: posts in program contexts have
+/// resolvable targets (the executing rank is known); posts inside
+/// function bodies do not (the executor is symbolic), so any fn-body
+/// post makes the event's balance unknowable and suppresses the
+/// imbalance checks — the positional deadlock analysis still applies.
+#[derive(Default)]
+struct EventBook {
+    /// `posts[i]` = posts resolved to image `i`'s instance.
+    posts: Vec<usize>,
+    /// Wait steps per waiting image.
+    waits: Vec<Vec<Step>>,
+    /// Posts inside fn bodies (target unknowable statically).
+    fn_posts: usize,
+    /// Waits inside fn bodies.
+    fn_waits: Vec<(CtxId, Step)>,
+}
+
+fn event_books(low: &Lowered) -> BTreeMap<String, EventBook> {
+    let mut books: BTreeMap<String, EventBook> = BTreeMap::new();
+    let book = |books: &mut BTreeMap<String, EventBook>, ev: &str| {
+        let b = books.entry(ev.to_string()).or_default();
+        if b.posts.is_empty() {
+            b.posts = vec![0; low.images];
+            b.waits = vec![Vec::new(); low.images];
+        }
+    };
+    for (rank, ctx) in low.programs.iter().enumerate() {
+        for step in &ctx.steps {
+            let posted = match &step.kind {
+                StepKind::Post(ev) => Some(ev),
+                StepKind::Op(op) => op.notify.as_ref(),
+                _ => None,
+            };
+            if let Some(ev) = posted {
+                book(&mut books, &ev.event);
+                let target = ev.image.map_or(rank, |t| t.resolve(rank, low.images));
+                books.get_mut(&ev.event).unwrap().posts[target] += 1;
+            }
+            if let StepKind::Wait(ev) = &step.kind {
+                book(&mut books, ev);
+                books.get_mut(ev).unwrap().waits[rank].push(step.clone());
+            }
+        }
+    }
+    for ctx in low.fns.values() {
+        for step in &ctx.steps {
+            let posted = match &step.kind {
+                StepKind::Post(ev) => Some(&ev.event),
+                StepKind::Op(op) => op.notify.as_ref().map(|n| &n.event),
+                _ => None,
+            };
+            if let Some(ev) = posted {
+                book(&mut books, ev);
+                books.get_mut(ev).unwrap().fn_posts += 1;
+            }
+            if let StepKind::Wait(ev) = &step.kind {
+                book(&mut books, ev);
+                books.get_mut(ev).unwrap().fn_waits.push((ctx.id.clone(), step.clone()));
+            }
+        }
+    }
+    books
+}
+
+fn event_analysis(low: &Lowered, out: &mut Vec<(CtxId, Diagnostic)>) {
+    for (ev, b) in event_books(low) {
+        let total_posts: usize = b.posts.iter().sum::<usize>() + b.fn_posts;
+        let any_waits = b.waits.iter().any(|w| !w.is_empty()) || !b.fn_waits.is_empty();
+        if any_waits && total_posts == 0 {
+            let starved = b
+                .waits
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| w.first().map(|s| (CtxId::Program(i), s.clone())))
+                .chain(b.fn_waits.iter().cloned());
+            for (ctx, step) in starved {
+                out.push((
+                    ctx,
+                    Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Event,
+                        scope: String::new(),
+                        line: step.line,
+                        message: format!(
+                            "`wait {ev}` can never be satisfied: the plan posts {ev} nowhere"
+                        ),
+                        deadlock: true,
+                    },
+                ));
+            }
+        } else if b.fn_posts == 0 {
+            // Per-instance balance, decidable because every post's
+            // target resolved.
+            for (rank, waits) in b.waits.iter().enumerate() {
+                let (w, p) = (waits.len(), b.posts[rank]);
+                if w > p {
+                    out.push((
+                        CtxId::Program(rank),
+                        Diagnostic {
+                            severity: Severity::Error,
+                            analysis: Analysis::Event,
+                            scope: String::new(),
+                            line: waits[w - 1].line,
+                            message: format!(
+                                "unbalanced event {ev}: {w} wait(s) against {p} post(s) on \
+                                 this image's instance — the last wait can never be satisfied"
+                            ),
+                            deadlock: true,
+                        },
+                    ));
+                } else if p > w {
+                    out.push((
+                        CtxId::Program(rank),
+                        Diagnostic {
+                            severity: Severity::Warning,
+                            analysis: Analysis::Event,
+                            scope: String::new(),
+                            line: waits.last().map_or(0, |s| s.line),
+                            message: format!(
+                                "unbalanced event {ev}: {p} post(s) against {w} wait(s) on \
+                                 this image's instance — leftover signals accumulate"
+                            ),
+                            deadlock: false,
+                        },
+                    ));
+                }
+            }
+        }
+        // Wait-inside-finish cycle: every post positioned after the
+        // enclosing finish completes.
+        let finish_waits = b
+            .waits
+            .iter()
+            .enumerate()
+            .flat_map(|(i, w)| w.iter().map(move |s| (CtxId::Program(i), s.clone())))
+            .chain(b.fn_waits.iter().cloned());
+        for (ctx, step) in finish_waits {
+            let Some(&fid) = step.finishes.last() else { continue };
+            if total_posts > 0 && !post_rescues(low, &ev, fid) {
+                out.push((
+                    ctx,
+                    Diagnostic {
+                        severity: Severity::Error,
+                        analysis: Analysis::Event,
+                        scope: String::new(),
+                        line: step.line,
+                        message: format!(
+                            "`wait {ev}` inside finish can deadlock termination detection: \
+                             every post of {ev} is positioned after that finish completes, \
+                             and the finish cannot complete while this image waits"
+                        ),
+                        deadlock: true,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merging and rendering
+// ---------------------------------------------------------------------
+
+/// Merges identical per-image findings (`all` blocks produce one copy
+/// per rank) and fills scopes.
+fn merge(low: &Lowered, raw: Vec<(CtxId, Diagnostic)>) -> Vec<Diagnostic> {
+    let mut grouped: BTreeMap<(usize, Analysis, String), (Diagnostic, BTreeSet<CtxId>)> =
+        BTreeMap::new();
+    for (ctx, d) in raw {
+        let key = (d.line, d.analysis, d.message.clone());
+        grouped.entry(key).or_insert_with(|| (d, BTreeSet::new())).1.insert(ctx);
+    }
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for ((_, _, _), (mut d, ctxs)) in grouped {
+        if d.scope.is_empty() {
+            d.scope = scope_label(low, &ctxs);
+        }
+        out.push(d);
+    }
+    out.sort_by(|a, b| {
+        (a.line, a.analysis, &a.scope, &a.message).cmp(&(b.line, b.analysis, &b.scope, &b.message))
+    });
+    out
+}
+
+fn scope_label(low: &Lowered, ctxs: &BTreeSet<CtxId>) -> String {
+    let images: Vec<usize> = ctxs
+        .iter()
+        .filter_map(|c| match c {
+            CtxId::Program(i) => Some(*i),
+            CtxId::Func(_) => None,
+        })
+        .collect();
+    let fns: Vec<&str> = ctxs
+        .iter()
+        .filter_map(|c| match c {
+            CtxId::Func(f) => Some(f.as_str()),
+            CtxId::Program(_) => None,
+        })
+        .collect();
+    let mut parts = Vec::new();
+    if images.len() == low.images {
+        parts.push("all images".to_string());
+    } else if !images.is_empty() {
+        let list: Vec<String> = images.iter().map(|i| i.to_string()).collect();
+        let word = if images.len() == 1 { "image" } else { "images" };
+        parts.push(format!("{word} {}", list.join(",")));
+    }
+    for f in fns {
+        parts.push(format!("fn {f}"));
+    }
+    parts.join(", ")
+}
+
+/// Renders diagnostics plus a summary line, the exact format the golden
+/// files pin.
+pub fn render(name: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!("{name}: {errors} error(s), {warnings} warning(s)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::ir::Target;
+
+    #[test]
+    fn over_strong_full_fence_gets_the_minimal_pair() {
+        // Only the put (local READ) needs ordering before `write a`;
+        // DOWNWARD=WRITE admits everything else and UPWARD=ANY is free.
+        let plan = PlanBuilder::new(2).coarray("a").all(|b| {
+            b.finish(|b| {
+                b.put("a", 1);
+                b.cofence(CofenceSpec::FULL);
+                b.write("a");
+            });
+        });
+        let diags = lint(&plan.build()).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.analysis, Analysis::Fence);
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("cofence(DOWNWARD=WRITE, UPWARD=ANY)"), "{}", d.message);
+    }
+
+    #[test]
+    fn fence_guarding_nothing_is_deletable() {
+        let plan = PlanBuilder::new(2).coarray("a").all(|b| {
+            b.read("a");
+            b.cofence(CofenceSpec::FULL);
+            b.read("a");
+        });
+        let diags = lint(&plan.build()).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("can be deleted"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn needed_full_fence_in_both_directions_is_quiet() {
+        // get then put on the same var, RW memcpy after: downward must
+        // block the get, upward must pin the put and memcpy.
+        let plan = PlanBuilder::new(2).coarray("a").all(|b| {
+            b.finish(|b| {
+                b.get("a", 1);
+                b.cofence(CofenceSpec::FULL);
+                b.put("a", 1);
+            });
+        });
+        let diags = lint(&plan.build()).unwrap();
+        // DOWNWARD can admit WRITE? No: the get is local-WRITE class, it
+        // must be blocked, so DOWNWARD ∈ {NONE, READ}; UPWARD must not
+        // admit the put (local READ), so UPWARD ∈ {NONE, WRITE}. The
+        // minimal pair is (READ, WRITE), weaker than FULL.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("cofence(DOWNWARD=READ, UPWARD=WRITE)"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn finish_leak_flagged_and_transitive_chains_tracked() {
+        let plan = PlanBuilder::new(3)
+            .coarray("a")
+            .func("inner", |b| b.get("a", 1))
+            .func("outer", |b| b.spawn("inner", Target::Rel(1)))
+            .all(|b| {
+                b.spawn("outer", Target::Rel(1)); // uncovered root
+            });
+        let diags = lint(&plan.build()).unwrap();
+        let finish: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.analysis == Analysis::Finish).collect();
+        // The root spawn leaks; inner's get and outer's spawn leak
+        // through the chain.
+        assert_eq!(finish.len(), 3, "{finish:?}");
+        assert!(finish.iter().all(|d| d.is_error()));
+        // Enclosing the root in a finish silences all three.
+        let plan = PlanBuilder::new(3)
+            .coarray("a")
+            .func("inner", |b| b.get("a", 1))
+            .func("outer", |b| b.spawn("inner", Target::Rel(1)))
+            .all(|b| {
+                b.finish(|b| b.spawn("outer", Target::Rel(1)));
+            });
+        let diags = lint(&plan.build()).unwrap();
+        assert!(diags.iter().all(|d| d.analysis != Analysis::Finish), "{diags:?}");
+    }
+
+    #[test]
+    fn notify_awaited_covers_an_op() {
+        let plan = PlanBuilder::new(2).coarray("a").event("done").all(|b| {
+            b.put_notify("a", 1, "done");
+            b.wait("done");
+        });
+        let diags = lint(&plan.build()).unwrap();
+        assert!(diags.iter().all(|d| d.analysis != Analysis::Finish), "{diags:?}");
+    }
+
+    #[test]
+    fn event_imbalance_and_starved_wait() {
+        let plan = PlanBuilder::new(2).event("e").all(|b| {
+            b.wait("e");
+        });
+        let diags = lint(&plan.build()).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].deadlock);
+        assert!(diags[0].message.contains("posts e nowhere"));
+
+        let plan = PlanBuilder::new(2).event("e").all(|b| {
+            b.post("e", Some(1));
+            b.wait("e");
+            b.wait("e");
+        });
+        let diags = lint(&plan.build()).unwrap();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("2 wait(s) against 1 post(s)"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn wait_inside_finish_with_late_posts_deadlocks() {
+        let plan = PlanBuilder::new(2).event("go").all(|b| {
+            b.finish(|b| b.wait("go"));
+            b.post("go", Some(1));
+        });
+        let diags = lint(&plan.build()).unwrap();
+        let dead: Vec<&Diagnostic> = diags.iter().filter(|d| d.deadlock).collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert!(dead[0].message.contains("deadlock termination detection"));
+        // A post from a function spawned inside the finish rescues it.
+        let plan =
+            PlanBuilder::new(2)
+                .event("go")
+                .func("poster", |b| b.post("go", Some(-1)))
+                .all(|b| {
+                    b.finish(|b| {
+                        b.spawn("poster", Target::Rel(1));
+                        b.wait("go");
+                    });
+                });
+        let diags = lint(&plan.build()).unwrap();
+        assert!(diags.iter().all(|d| !d.deadlock), "{diags:?}");
+    }
+
+    #[test]
+    fn merged_scopes_render_deterministically() {
+        let plan = PlanBuilder::new(3).coarray("a").all(|b| {
+            b.put("a", 1);
+            b.write("a");
+        });
+        let diags = lint(&plan.build()).unwrap();
+        let race: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.analysis == Analysis::Race).collect();
+        assert_eq!(race.len(), 1, "per-image duplicates must merge: {race:?}");
+        assert_eq!(race[0].scope, "all images");
+        let text = render("t", &diags);
+        assert!(text.ends_with("error(s), 0 warning(s)\n"), "{text}");
+    }
+}

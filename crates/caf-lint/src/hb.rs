@@ -1,0 +1,293 @@
+//! The per-image static happens-before relation, implementing the
+//! paper's directional pass/block semantics over a lowered context.
+//!
+//! The model: a context executes its steps in program order, but each
+//! asynchronous operation's *local data completion* floats forward from
+//! its initiation until something forces it:
+//!
+//! * a `cofence` whose downward argument does **not** admit the op's
+//!   local-access class ([`CofenceSpec::blocks_down`] — `caf-core` is the
+//!   single source of truth for the READ/WRITE/ANY matrix, this module
+//!   never re-derives it);
+//! * the end of a `finish` block the op was initiated inside (global
+//!   completion subsumes local);
+//! * a team `barrier` (lowered as an implied full fence);
+//! * a `wait` on the op's own completion event.
+//!
+//! Symmetrically, a later asynchronous operation's *initiation* may
+//! float backward across a `cofence` whose upward argument admits its
+//! class — and only across fences: every other statement pins program
+//! order. An op hoists to just above a run of consecutive
+//! upward-admitting fences immediately preceding it; its **initiation
+//! floor** is the last step before that run.
+//!
+//! Two steps conflict when one's local writes intersect the other's
+//! local reads or writes. A conflict is a **race** unless some forcing
+//! point for the earlier op lies at or before the later step's
+//! initiation floor — then the fence algebra guarantees completion
+//! before the access can happen.
+
+use caf_core::cofence::CofenceSpec;
+
+use crate::ir::{Ctx, OpStep, Step, StepKind};
+
+/// Is step `j` a conflicting successor of op `op`? (Any write/any or
+/// any/write intersection of local coarray footprints.)
+pub fn conflicts(op: &OpStep, later: &Step) -> bool {
+    let (later_reads, later_writes): (Vec<&String>, Vec<&String>) = match &later.kind {
+        StepKind::Access { var, write } => {
+            if *write {
+                (Vec::new(), vec![var])
+            } else {
+                (vec![var], Vec::new())
+            }
+        }
+        StepKind::Op(o) => (o.reads.iter().collect(), o.writes.iter().collect()),
+        _ => return false,
+    };
+    let w_vs_rw = op.writes.iter().any(|v| later_reads.contains(&v) || later_writes.contains(&v));
+    let r_vs_w = op.reads.iter().any(|v| later_writes.contains(&v));
+    w_vs_rw || r_vs_w
+}
+
+/// Does executing step `k` force local data completion of the op at
+/// index `i` (with payload `op`)?
+pub fn forces_completion(steps: &[Step], i: usize, op: &OpStep, k: usize) -> bool {
+    match &steps[k].kind {
+        StepKind::Fence { spec, .. } => spec.blocks_down(op.access),
+        StepKind::FinishEnd(id) => steps[i].finishes.contains(id),
+        StepKind::Wait(ev) => {
+            op.notify.as_ref().is_some_and(|n| n.image.is_none() && n.event == *ev)
+        }
+        _ => false,
+    }
+}
+
+/// The first index `> i` whose step forces completion of the op at `i`,
+/// if any.
+pub fn completion_point(steps: &[Step], i: usize) -> Option<usize> {
+    let op = steps[i].op()?;
+    (i + 1..steps.len()).find(|&k| forces_completion(steps, i, op, k))
+}
+
+/// The initiation floor of step `j`: the index of the last step that
+/// must have executed before `j` can begin. Synchronous steps never
+/// hoist (`j - 1`); an async op hoists across the maximal run of
+/// immediately preceding explicit fences that all admit its class
+/// upward.
+pub fn initiation_floor(steps: &[Step], j: usize) -> usize {
+    let op = match steps[j].op() {
+        Some(op) => op,
+        None => return j.wrapping_sub(1),
+    };
+    let mut f = j;
+    while f > 0 {
+        match &steps[f - 1].kind {
+            StepKind::Fence { spec, .. } if spec.admits_up(op.access) => f -= 1,
+            _ => break,
+        }
+    }
+    f.wrapping_sub(1)
+}
+
+/// Is the op at `i` guaranteed locally complete before step `j` can
+/// execute (or, for an async `j`, initiate)?
+pub fn ordered_before(steps: &[Step], i: usize, j: usize) -> bool {
+    debug_assert!(i < j);
+    let floor = initiation_floor(steps, j);
+    match completion_point(steps, i) {
+        // `floor` is an index that has *executed* before `j` begins, so
+        // a forcing point at or before it has fired.
+        Some(c) => floor != usize::MAX && c <= floor,
+        None => false,
+    }
+}
+
+/// One statically detected race: the async op at `op_idx` may still be
+/// pending local data completion when the conflicting step at `acc_idx`
+/// runs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Race {
+    /// Index of the pending op in the context's steps.
+    pub op_idx: usize,
+    /// Index of the conflicting access (or op initiation).
+    pub acc_idx: usize,
+}
+
+/// All races in one context, in deterministic (op, access) order.
+pub fn races(ctx: &Ctx) -> Vec<Race> {
+    races_of_steps(&ctx.steps)
+}
+
+/// [`races`] over a raw step slice (the weakening analysis probes
+/// modified copies).
+pub fn races_of_steps(steps: &[Step]) -> Vec<Race> {
+    let mut out = Vec::new();
+    for i in 0..steps.len() {
+        let Some(op) = steps[i].op() else { continue };
+        if op.reads.is_empty() && op.writes.is_empty() {
+            continue;
+        }
+        for j in i + 1..steps.len() {
+            if conflicts(op, &steps[j]) && !ordered_before(steps, i, j) {
+                out.push(Race { op_idx: i, acc_idx: j });
+            }
+        }
+    }
+    out
+}
+
+/// The ops still pending (not yet forced complete) when step `k` runs.
+pub fn pending_at(steps: &[Step], k: usize) -> Vec<usize> {
+    (0..k)
+        .filter(|&i| steps[i].op().is_some() && completion_point(steps, i).is_none_or(|c| c >= k))
+        .collect()
+}
+
+/// Probes for the drift test: the downward fence decision caf-lint
+/// applies, verbatim from `caf-core`. Exposed so the exhaustive matrix
+/// test can compare the analyzer's decisions against the hand-written
+/// paper table without building a plan per cell.
+pub fn fence_blocks_down(spec: CofenceSpec, access: caf_core::cofence::LocalAccess) -> bool {
+    spec.blocks_down(access)
+}
+
+/// Upward twin of [`fence_blocks_down`].
+pub fn fence_admits_up(spec: CofenceSpec, access: caf_core::cofence::LocalAccess) -> bool {
+    spec.admits_up(access)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use caf_core::cofence::Pass;
+
+    fn steps_of(b: PlanBuilder) -> Vec<Step> {
+        let plan = b.build();
+        plan.lower().unwrap().programs[0].steps.clone()
+    }
+
+    #[test]
+    fn unfenced_put_races_with_source_overwrite() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.put("a", 1);
+            b.write("a");
+        }));
+        assert_eq!(races_of_steps(&steps), vec![Race { op_idx: 0, acc_idx: 1 }]);
+    }
+
+    #[test]
+    fn blocking_fence_orders_the_pair() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.put("a", 1);
+            b.cofence(CofenceSpec::new(Pass::Writes, Pass::Any));
+            b.write("a");
+        }));
+        assert!(races_of_steps(&steps).is_empty());
+    }
+
+    #[test]
+    fn admitting_fence_does_not_order() {
+        // DOWNWARD=READ admits the put (a local read) downward: it may
+        // still be pending at the write.
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.put("a", 1);
+            b.cofence(CofenceSpec::new(Pass::Reads, Pass::None));
+            b.write("a");
+        }));
+        assert_eq!(races_of_steps(&steps).len(), 1);
+    }
+
+    #[test]
+    fn upward_hoist_defeats_the_fence() {
+        // The get (local write of `a`) is forced complete by the fence,
+        // but the later put (local read of `a`) is admitted upward: it
+        // may initiate before the fence completes, while the get is
+        // still landing.
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.get("a", 1);
+            b.cofence(CofenceSpec::new(Pass::None, Pass::Reads));
+            b.put("a", 1);
+        }));
+        assert_eq!(races_of_steps(&steps), vec![Race { op_idx: 0, acc_idx: 2 }]);
+        // With UPWARD=NONE the same program is race-free.
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.get("a", 1);
+            b.cofence(CofenceSpec::FULL);
+            b.put("a", 1);
+        }));
+        assert!(races_of_steps(&steps).is_empty());
+    }
+
+    #[test]
+    fn hoisting_stops_at_non_fence_steps() {
+        // A post between the fence and the put pins program order: the
+        // put cannot reach back across it, so the fence's completion
+        // (which forces the get) is ordered first.
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").event("e").all(|b| {
+            b.get("a", 1);
+            b.cofence(CofenceSpec::new(Pass::None, Pass::Any));
+            b.post("e", None);
+            b.put("a", 1);
+        }));
+        assert!(races_of_steps(&steps).is_empty());
+    }
+
+    #[test]
+    fn finish_end_completes_inner_ops_only() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.put("a", 1); // outside the finish: NOT completed by its end
+            b.finish(|b| {
+                b.get("a", 1);
+            });
+            b.write("a");
+        }));
+        // The put races with the write; the get (inside the finish) does
+        // not — and also conflicts with the put itself.
+        let r = races_of_steps(&steps);
+        assert!(r.contains(&Race { op_idx: 0, acc_idx: 4 }), "{r:?}");
+        assert!(!r.iter().any(|x| x.op_idx == 2 && x.acc_idx == 4), "{r:?}");
+    }
+
+    #[test]
+    fn barrier_is_a_full_fence() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").all(|b| {
+            b.put("a", 1);
+            b.barrier();
+            b.write("a");
+        }));
+        assert!(races_of_steps(&steps).is_empty());
+    }
+
+    #[test]
+    fn waiting_on_the_notify_event_orders_completion() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").event("sent").all(|b| {
+            b.put_notify("a", 1, "sent");
+            b.wait("sent");
+            b.write("a");
+        }));
+        assert!(races_of_steps(&steps).is_empty());
+        // Waiting on an unrelated event does not.
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").event("sent").event("x").all(|b| {
+            b.put_notify("a", 1, "sent");
+            b.wait("x");
+            b.write("a");
+        }));
+        assert_eq!(races_of_steps(&steps).len(), 1);
+    }
+
+    #[test]
+    fn pending_at_tracks_forcing_points() {
+        let steps = steps_of(PlanBuilder::new(2).coarray("a").coarray("b").all(|b| {
+            b.put("a", 1);
+            b.get("b", 1);
+            b.cofence(CofenceSpec::new(Pass::Writes, Pass::None)); // forces the put only
+            b.write("a");
+        }));
+        // At the fence (index 2): both pending. At the write (index 3):
+        // the put was forced by the fence, the get crossed it.
+        assert_eq!(pending_at(&steps, 2), vec![0, 1]);
+        assert_eq!(pending_at(&steps, 3), vec![1]);
+    }
+}

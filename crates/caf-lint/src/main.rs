@@ -1,0 +1,57 @@
+//! The `caf-lint` command-line tool.
+//!
+//! ```text
+//! caf-lint check PLAN...
+//! ```
+//!
+//! Prints every diagnostic plus a per-file summary line. Exit status:
+//! 0 when no file produced an error-severity diagnostic (warnings are
+//! allowed), 1 when at least one did, 2 on usage, I/O, or plan-format
+//! failures.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: caf-lint check PLAN...\n\
+ \n\
+ Statically analyzes CAF 2.0 async plans for missing-fence races,\n\
+ over-strong fences, finish-coverage leaks, and event misuse.\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, files) = match args.split_first() {
+        Some((cmd, rest)) if cmd == "check" && !rest.is_empty() => (cmd, rest),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = cmd;
+    let mut any_error = false;
+    for path in files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("caf-lint: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let name = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        let diags = match caf_lint::parse(&src).and_then(|p| caf_lint::lint(&p)) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("caf-lint: {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", caf_lint::render(&name, &diags));
+        any_error |= diags.iter().any(|d| d.is_error());
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,360 @@
+//! The textual plan format — the second frontend. Line-oriented, with
+//! `#` comments and brace-delimited blocks:
+//!
+//! ```text
+//! # one halo exchange
+//! images 4
+//! coarray cur nxt
+//! event halo_in
+//!
+//! all {
+//!     copy cur -> nxt@+1 notify halo_in@+1
+//!     cofence(DOWNWARD=WRITE, UPWARD=ANY)
+//!     wait halo_in
+//!     barrier
+//! }
+//! ```
+//!
+//! Statements: `copy REF -> REF [notify EVREF]`, `cofence(...)`,
+//! `finish { … }`, `spawn FN @TARGET [notify EVREF]`, `post EVREF`,
+//! `wait EVENT`, `barrier`, `read VAR`, `write VAR`. A `REF` is `name`
+//! (the executing image's segment) or `name@TARGET`; a `TARGET` is `+k`
+//! or `-k` (relative, modulo the image count) or a bare rank. Top-level
+//! sections: `images N`, `coarray NAME…`, `event NAME…`, `fn NAME { … }`,
+//! `all { … }`, `image N { … }`.
+
+use caf_core::cofence::{CofenceSpec, Pass};
+
+use crate::ir::{Block, EventRef, FnDef, MemRef, Plan, PlanError, Stmt, StmtKind, Target};
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, PlanError> {
+    Err(PlanError { line, msg: msg.into() })
+}
+
+/// Parses the textual plan format.
+pub fn parse(src: &str) -> Result<Plan, PlanError> {
+    let lines: Vec<(usize, String)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| {
+            let no_comment = raw.split('#').next().unwrap_or("");
+            (i + 1, no_comment.trim().to_string())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut plan = Plan {
+        images: 0,
+        coarrays: Vec::new(),
+        events: Vec::new(),
+        fns: Vec::new(),
+        blocks: Vec::new(),
+    };
+    let mut pos = 0;
+    while pos < lines.len() {
+        let (line, text) = &lines[pos];
+        let line = *line;
+        let mut words = text.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            "images" => {
+                let n = words.next().ok_or(()).or_else(|_| err(line, "images needs a count"))?;
+                plan.images = n
+                    .parse()
+                    .map_err(|_| PlanError { line, msg: format!("bad image count {n:?}") })?;
+                pos += 1;
+            }
+            "coarray" | "event" => {
+                let names: Vec<String> = words.map(str::to_string).collect();
+                if names.is_empty() {
+                    return err(line, format!("{head} needs at least one name"));
+                }
+                if head == "coarray" {
+                    plan.coarrays.extend(names);
+                } else {
+                    plan.events.extend(names);
+                }
+                pos += 1;
+            }
+            "fn" => {
+                let name = words.next().ok_or(()).or_else(|_| err(line, "fn needs a name"))?;
+                expect_open(text, line)?;
+                let (body, next) = parse_body(&lines, pos + 1)?;
+                plan.fns.push(FnDef { name: name.to_string(), body });
+                pos = next;
+            }
+            "all" => {
+                expect_open(text, line)?;
+                let (body, next) = parse_body(&lines, pos + 1)?;
+                plan.blocks.push(Block { image: None, body });
+                pos = next;
+            }
+            "image" => {
+                let n = words.next().ok_or(()).or_else(|_| err(line, "image needs a rank"))?;
+                let rank: usize = n
+                    .parse()
+                    .map_err(|_| PlanError { line, msg: format!("bad image rank {n:?}") })?;
+                expect_open(text, line)?;
+                let (body, next) = parse_body(&lines, pos + 1)?;
+                plan.blocks.push(Block { image: Some(rank), body });
+                pos = next;
+            }
+            other => return err(line, format!("expected a top-level section, found {other:?}")),
+        }
+    }
+    if plan.images == 0 {
+        return err(0, "plan never declares `images N`");
+    }
+    Ok(plan)
+}
+
+fn expect_open(text: &str, line: usize) -> Result<(), PlanError> {
+    if text.ends_with('{') {
+        Ok(())
+    } else {
+        err(line, "expected `{` to open the block on the same line")
+    }
+}
+
+/// Parses statements until the matching `}`. Returns the body and the
+/// index just past the close.
+fn parse_body(lines: &[(usize, String)], mut pos: usize) -> Result<(Vec<Stmt>, usize), PlanError> {
+    let mut body = Vec::new();
+    while pos < lines.len() {
+        let (line, text) = &lines[pos];
+        let line = *line;
+        if text == "}" {
+            return Ok((body, pos + 1));
+        }
+        let mut words = text.split_whitespace();
+        let head = words.next().unwrap_or("");
+        match head {
+            "copy" => {
+                // copy REF -> REF [notify EVREF]
+                let rest: Vec<&str> = words.collect();
+                let arrow = rest
+                    .iter()
+                    .position(|w| *w == "->")
+                    .ok_or(())
+                    .or_else(|_| err(line, "copy needs `src -> dst`"))?;
+                if arrow != 1 || rest.len() < 3 {
+                    return err(line, "copy syntax: `copy SRC -> DST [notify EV]`");
+                }
+                let src = parse_memref(rest[0], line)?;
+                let dst = parse_memref(rest[2], line)?;
+                let notify = match rest.get(3) {
+                    None => None,
+                    Some(&"notify") => {
+                        let ev = rest
+                            .get(4)
+                            .ok_or(())
+                            .or_else(|_| err(line, "notify needs an event"))?;
+                        Some(parse_eventref(ev, line)?)
+                    }
+                    Some(w) => return err(line, format!("unexpected {w:?} after copy")),
+                };
+                body.push(Stmt { kind: StmtKind::Copy { src, dst, notify }, line });
+                pos += 1;
+            }
+            h if h.starts_with("cofence") => {
+                let spec = parse_cofence(text, line)?;
+                body.push(Stmt { kind: StmtKind::Cofence(spec), line });
+                pos += 1;
+            }
+            "finish" => {
+                expect_open(text, line)?;
+                let (inner, next) = parse_body(lines, pos + 1)?;
+                body.push(Stmt { kind: StmtKind::Finish(inner), line });
+                pos = next;
+            }
+            "spawn" => {
+                // spawn FN @TARGET [notify EVREF]
+                let rest: Vec<&str> = words.collect();
+                if rest.len() < 2 || !rest[1].starts_with('@') {
+                    return err(line, "spawn syntax: `spawn FN @TARGET [notify EV]`");
+                }
+                let target = parse_target(&rest[1][1..], line)?;
+                let notify = match rest.get(2) {
+                    None => None,
+                    Some(&"notify") => {
+                        let ev = rest
+                            .get(3)
+                            .ok_or(())
+                            .or_else(|_| err(line, "notify needs an event"))?;
+                        Some(parse_eventref(ev, line)?)
+                    }
+                    Some(w) => return err(line, format!("unexpected {w:?} after spawn")),
+                };
+                body.push(Stmt {
+                    kind: StmtKind::Spawn { func: rest[0].to_string(), target, notify },
+                    line,
+                });
+                pos += 1;
+            }
+            "post" => {
+                let ev = words.next().ok_or(()).or_else(|_| err(line, "post needs an event"))?;
+                body.push(Stmt { kind: StmtKind::Post(parse_eventref(ev, line)?), line });
+                pos += 1;
+            }
+            "wait" => {
+                let ev = words.next().ok_or(()).or_else(|_| err(line, "wait needs an event"))?;
+                if ev.contains('@') {
+                    return err(line, "wait is always on the executing image's instance");
+                }
+                body.push(Stmt { kind: StmtKind::Wait(ev.to_string()), line });
+                pos += 1;
+            }
+            "barrier" => {
+                body.push(Stmt { kind: StmtKind::Barrier, line });
+                pos += 1;
+            }
+            "read" | "write" => {
+                let var = words
+                    .next()
+                    .ok_or(())
+                    .or_else(|_| err(line, format!("{head} needs a coarray")))?;
+                body.push(Stmt {
+                    kind: StmtKind::Access { var: var.to_string(), write: head == "write" },
+                    line,
+                });
+                pos += 1;
+            }
+            other => return err(line, format!("unknown statement {other:?}")),
+        }
+    }
+    err(lines.last().map_or(0, |(l, _)| *l), "unclosed block: missing `}`")
+}
+
+/// `cofence`, `cofence()`, or `cofence(DOWNWARD=X, UPWARD=Y)` in either
+/// argument order; either argument may be omitted (defaults to `NONE`,
+/// the paper's full-fence default).
+fn parse_cofence(text: &str, line: usize) -> Result<CofenceSpec, PlanError> {
+    let rest = text.strip_prefix("cofence").unwrap_or("").trim();
+    if rest.is_empty() {
+        return Ok(CofenceSpec::FULL);
+    }
+    let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+        return err(line, "cofence arguments must be parenthesized");
+    };
+    let mut spec = CofenceSpec::FULL;
+    for arg in inner.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let (key, val) = arg
+            .split_once('=')
+            .ok_or(())
+            .or_else(|_| err(line, format!("bad cofence argument {arg:?} (want KEY=PASS)")))?;
+        let pass = Pass::parse(val.trim()).map_err(|e| PlanError { line, msg: e })?;
+        match key.trim().to_ascii_uppercase().as_str() {
+            "DOWNWARD" | "DOWN" => spec.downward = pass,
+            "UPWARD" | "UP" => spec.upward = pass,
+            k => return err(line, format!("unknown cofence argument {k:?}")),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_target(s: &str, line: usize) -> Result<Target, PlanError> {
+    if let Some(k) = s.strip_prefix('+') {
+        let k: i64 = k.parse().map_err(|_| PlanError { line, msg: format!("bad target {s:?}") })?;
+        return Ok(Target::Rel(k));
+    }
+    if s.starts_with('-') {
+        let k: i64 = s.parse().map_err(|_| PlanError { line, msg: format!("bad target {s:?}") })?;
+        return Ok(Target::Rel(k));
+    }
+    let n: usize = s.parse().map_err(|_| PlanError { line, msg: format!("bad target {s:?}") })?;
+    Ok(Target::Abs(n))
+}
+
+fn parse_memref(s: &str, line: usize) -> Result<MemRef, PlanError> {
+    match s.split_once('@') {
+        None => Ok(MemRef { var: s.to_string(), image: None }),
+        Some((var, t)) => Ok(MemRef { var: var.to_string(), image: Some(parse_target(t, line)?) }),
+    }
+}
+
+fn parse_eventref(s: &str, line: usize) -> Result<EventRef, PlanError> {
+    match s.split_once('@') {
+        None => Ok(EventRef { event: s.to_string(), image: None }),
+        Some((ev, t)) => {
+            Ok(EventRef { event: ev.to_string(), image: Some(parse_target(t, line)?) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# halo exchange, one step
+images 4
+coarray cur nxt
+event halo_in done
+
+fn bump {
+    write cur
+}
+
+all {
+    copy cur -> nxt@+1 notify halo_in@+1
+    cofence(DOWNWARD=WRITE, UPWARD=ANY)
+    wait halo_in
+    finish {
+        spawn bump @+1
+    }
+    barrier
+}
+
+image 0 {
+    post done@1
+}
+"#;
+
+    #[test]
+    fn parses_and_lowers_the_sample() {
+        let plan = parse(SAMPLE).unwrap();
+        assert_eq!(plan.images, 4);
+        assert_eq!(plan.coarrays, vec!["cur", "nxt"]);
+        assert_eq!(plan.events, vec!["halo_in", "done"]);
+        assert_eq!(plan.fns.len(), 1);
+        assert_eq!(plan.blocks.len(), 2);
+        let low = plan.lower().unwrap();
+        // image 0 carries the guarded post, others don't.
+        assert_eq!(low.programs[0].steps.len(), low.programs[1].steps.len() + 1);
+        // Line numbers survive into steps.
+        assert_eq!(low.programs[0].steps[0].line, 12);
+    }
+
+    #[test]
+    fn cofence_forms_and_argument_order() {
+        let full = parse_cofence("cofence", 1).unwrap();
+        assert_eq!(full, CofenceSpec::FULL);
+        let full2 = parse_cofence("cofence()", 1).unwrap();
+        assert_eq!(full2, CofenceSpec::FULL);
+        let d = parse_cofence("cofence(DOWNWARD=WRITE, UPWARD=ANY)", 1).unwrap();
+        assert_eq!(d, CofenceSpec::new(Pass::Writes, Pass::Any));
+        let swapped = parse_cofence("cofence(UPWARD=ANY, DOWNWARD=WRITE)", 1).unwrap();
+        assert_eq!(d, swapped);
+        let partial = parse_cofence("cofence(UPWARD=READ)", 1).unwrap();
+        assert_eq!(partial, CofenceSpec::new(Pass::None, Pass::Reads));
+        assert!(parse_cofence("cofence(SIDEWAYS=ANY)", 1).is_err());
+        assert!(parse_cofence("cofence(DOWNWARD=BLUE)", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("images 2\nall {\n  copy a b\n}\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse("images 2\nall {\n  copy a -> b\n").unwrap_err();
+        assert!(e.msg.contains("unclosed"));
+        let e = parse("all {\n}\n").unwrap_err();
+        assert!(e.msg.contains("images"), "{e}");
+    }
+
+    #[test]
+    fn targets_parse_all_three_shapes() {
+        assert_eq!(parse_target("+1", 1).unwrap(), Target::Rel(1));
+        assert_eq!(parse_target("-2", 1).unwrap(), Target::Rel(-2));
+        assert_eq!(parse_target("3", 1).unwrap(), Target::Abs(3));
+        assert!(parse_target("x", 1).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Golden regression over the shipped plan corpus: the rendered
+//! diagnostics for every fixture under `tests/fixtures/lints/` and every
+//! example under `examples/plans/` must match their committed `.golden`
+//! byte for byte (the goldens are exactly what `caf-lint check` prints).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use caf_lint::{lint, parse, render};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn check_dir(dir: &str, want_errors: Option<bool>) -> usize {
+    let mut plans: Vec<PathBuf> = fs::read_dir(repo_root().join(dir))
+        .unwrap_or_else(|e| panic!("reading {dir}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    plans.sort();
+    for path in &plans {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = fs::read_to_string(path).unwrap();
+        let plan = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let diags = lint(&plan).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let golden_path = path.with_extension("golden");
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden ({e})"));
+        let got = render(&name, &diags);
+        assert_eq!(got, golden, "{name}: rendered diagnostics drifted from the golden");
+        if let Some(expect) = want_errors {
+            assert_eq!(
+                diags.iter().any(|d| d.is_error()),
+                expect,
+                "{name}: error expectation flipped"
+            );
+        }
+    }
+    plans.len()
+}
+
+#[test]
+fn example_plan_goldens_match_and_stay_error_free() {
+    assert_eq!(check_dir("examples/plans", Some(false)), 5);
+}
+
+#[test]
+fn fixture_goldens_match() {
+    // Most fixtures carry errors; the two "mild" fence fixtures carry
+    // warnings only — the goldens pin both shapes exactly.
+    assert!(check_dir("tests/fixtures/lints", None) >= 8);
+}
+
+#[test]
+fn every_fixture_is_caught_somehow() {
+    for entry in fs::read_dir(repo_root().join("tests/fixtures/lints")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "plan") {
+            continue;
+        }
+        let plan = parse(&fs::read_to_string(&path).unwrap()).unwrap();
+        let diags = lint(&plan).unwrap();
+        assert!(!diags.is_empty(), "{}: seeded misuse went completely undetected", path.display());
+    }
+}

@@ -1,0 +1,178 @@
+//! Drift guard between `caf-lint`'s happens-before layer and the
+//! paper's §III-B pass/block table as pinned (literally, by hand) in
+//! `crates/caf-core/tests/cofence_matrix.rs`.
+//!
+//! The `CROSSES` table below is a *copy of those literal entries*, not a
+//! re-derivation through `Pass::admits` — if either side drifts, one of
+//! these tests fails. The probe tests exercise the exact predicates the
+//! race analysis uses ([`fence_blocks_down`] / [`fence_admits_up`]); the
+//! end-to-end tests check the same verdicts surface as whole-plan race
+//! diagnostics, fence by fence, class by class.
+
+use caf_core::cofence::{CofenceSpec, LocalAccess, Pass};
+use caf_lint::builder::PlanBuilder;
+use caf_lint::hb::{fence_admits_up, fence_blocks_down, races};
+use caf_lint::ir::{MemRef, Plan, Target};
+
+/// `(class name, local access)` — rows, in `CROSSES` order.
+const OP_CLASSES: [(&str, LocalAccess); 4] = [
+    ("copy-read", LocalAccess::READ),
+    ("copy-write", LocalAccess::WRITE),
+    ("async-collective", LocalAccess::READ_WRITE),
+    ("shipped-fn", LocalAccess::READ),
+];
+
+/// Literal table entries from `cofence_matrix.rs`: may an operation of
+/// the row's class cross a fence with the column's argument? Columns
+/// are None / READ / WRITE / ANY; the rule is identical both directions.
+const CROSSES: [[bool; 4]; 4] = [
+    // None   READ   WRITE  ANY
+    [false, true, false, true],  // copy-read
+    [false, false, true, true],  // copy-write
+    [false, false, false, true], // async-collective: only ANY
+    [false, true, false, true],  // shipped-fn marshals = local read
+];
+
+const ARGS: [Pass; 4] = [Pass::None, Pass::Reads, Pass::Writes, Pass::Any];
+
+#[test]
+fn probes_match_the_literal_table_for_all_sixteen_fences() {
+    for (d_idx, &down) in ARGS.iter().enumerate() {
+        for (u_idx, &up) in ARGS.iter().enumerate() {
+            let spec = CofenceSpec::new(down, up);
+            for (row, &(name, access)) in OP_CLASSES.iter().enumerate() {
+                assert_eq!(
+                    !fence_blocks_down(spec, access),
+                    CROSSES[row][d_idx],
+                    "cofence(DOWNWARD={down:?}, UPWARD={up:?}) × {name}: downward drift"
+                );
+                assert_eq!(
+                    fence_admits_up(spec, access),
+                    CROSSES[row][u_idx],
+                    "cofence(DOWNWARD={down:?}, UPWARD={up:?}) × {name}: upward drift"
+                );
+            }
+        }
+    }
+}
+
+/// `[async op on row's class, cofence(spec), conflicting sync access]`.
+/// The access races with the op iff the fence let the op's class cross
+/// downward (crossing ⇒ the op is still pending at the access).
+fn downward_plan(row: usize, spec: CofenceSpec) -> Plan {
+    PlanBuilder::new(2)
+        .coarray("a")
+        .coarray("b")
+        .all(|bb| {
+            match row {
+                0 => bb.put("a", 1),                                  // reads a
+                1 => bb.get("a", 1),                                  // writes a
+                _ => bb.copy(MemRef::local("a"), MemRef::local("b")), // reads a, writes b
+            }
+            bb.cofence(spec);
+            match row {
+                0 => bb.write("a"),
+                1 => bb.read("a"),
+                _ => bb.write("a"),
+            }
+        })
+        .build()
+}
+
+#[test]
+fn downward_verdicts_surface_as_whole_plan_races() {
+    // Shipped functions marshal no *named* coarray, so they cannot be
+    // probed through a race — the probe test above covers that row.
+    for (d_idx, &down) in ARGS.iter().enumerate() {
+        for &up in &ARGS {
+            for row in 0..3 {
+                let plan = downward_plan(row, CofenceSpec::new(down, up));
+                let low = plan.lower().unwrap();
+                let racy = !races(&low.programs[0]).is_empty();
+                assert_eq!(
+                    racy, CROSSES[row][d_idx],
+                    "{}: cofence(DOWNWARD={down:?}, UPWARD={up:?}) end-to-end downward drift",
+                    OP_CLASSES[row].0
+                );
+            }
+        }
+    }
+}
+
+/// `[blocker op, cofence(DOWNWARD=blocks it, UPWARD=spec), probe op]`.
+/// The blocker completes *at* the fence; the probe op races with it iff
+/// the fence lets the probe's class hoist upward across it.
+fn upward_plan(row: usize, up: Pass) -> Plan {
+    PlanBuilder::new(2)
+        .coarray("a")
+        .coarray("b")
+        .all(|bb| {
+            // Blocker: conflicts with the probe, and its own class is
+            // blocked downward so it completes exactly at the fence.
+            let down = match row {
+                0 => {
+                    bb.get("a", 1); // writes a; READ blocks copy-write
+                    Pass::Reads
+                }
+                1 => {
+                    bb.put("a", 1); // reads a; WRITE blocks copy-read
+                    Pass::Writes
+                }
+                _ => {
+                    bb.put("b", 1); // reads b; WRITE blocks copy-read
+                    Pass::Writes
+                }
+            };
+            bb.cofence(CofenceSpec::new(down, up));
+            match row {
+                0 => bb.put("a", 1),                                  // reads a
+                1 => bb.get("a", 1),                                  // writes a
+                _ => bb.copy(MemRef::local("a"), MemRef::local("b")), // writes b
+            }
+            // Park both ops at a full fence so only the hoist matters.
+            bb.cofence(CofenceSpec::FULL);
+        })
+        .build()
+}
+
+#[test]
+fn upward_verdicts_surface_as_hoist_races() {
+    for (u_idx, &up) in ARGS.iter().enumerate() {
+        for row in 0..3 {
+            let plan = upward_plan(row, up);
+            let low = plan.lower().unwrap();
+            let racy = !races(&low.programs[0]).is_empty();
+            assert_eq!(
+                racy, CROSSES[row][u_idx],
+                "{}: cofence(UPWARD={up:?}) end-to-end upward drift",
+                OP_CLASSES[row].0
+            );
+        }
+    }
+}
+
+#[test]
+fn spawn_class_is_the_read_class() {
+    // The lowering classifies `spawn` as LocalAccess::READ (argument
+    // marshalling); pin that against the shipped-fn row.
+    let plan = PlanBuilder::new(2)
+        .func("f", |bb| bb.read("a"))
+        .coarray("a")
+        .all(|bb| {
+            bb.finish(|bb| bb.spawn("f", Target::Rel(1)));
+        })
+        .build();
+    let low = plan.lower().unwrap();
+    let spawn_step = low.programs[0]
+        .steps
+        .iter()
+        .find_map(|s| s.op().filter(|o| o.spawn.is_some()))
+        .expect("spawn lowers to an op");
+    for (col, &arg) in ARGS.iter().enumerate() {
+        assert_eq!(
+            !fence_blocks_down(CofenceSpec::new(arg, arg), spawn_step.access),
+            CROSSES[3][col],
+            "spawn marshalling class drifted from the shipped-fn row at {arg:?}"
+        );
+    }
+}

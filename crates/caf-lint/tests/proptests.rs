@@ -1,0 +1,78 @@
+//! Soundness smoke for the race analysis, over randomized plans:
+//!
+//! * a *fully fenced* plan — every async operation immediately followed
+//!   by a full `cofence()` — can never draw a race diagnostic;
+//! * deleting one *needed* fence (each segment's access conflicts with
+//!   its op, so every fence is needed) always draws at least one.
+
+use caf_core::cofence::CofenceSpec;
+use caf_lint::builder::PlanBuilder;
+use caf_lint::ir::{MemRef, Plan};
+use caf_lint::{lint, Analysis};
+use proptest::prelude::*;
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+/// One segment: async op on `VARS[var]`, optionally its full fence,
+/// then a sync access that conflicts with the op.
+fn make_plan(segs: &[(usize, usize)], skip_fence: Option<usize>) -> Plan {
+    PlanBuilder::new(2)
+        .coarray("a")
+        .coarray("b")
+        .coarray("c")
+        .coarray("z")
+        .all(|bb| {
+            bb.finish(|bb| {
+                for (i, &(kind, var)) in segs.iter().enumerate() {
+                    let v = VARS[var % VARS.len()];
+                    match kind % 3 {
+                        0 => bb.put(v, 1),                                  // reads v
+                        1 => bb.get(v, 1),                                  // writes v
+                        _ => bb.copy(MemRef::local(v), MemRef::local("z")), // reads v, writes z
+                    }
+                    if skip_fence != Some(i) {
+                        bb.cofence(CofenceSpec::FULL);
+                    }
+                    match kind % 3 {
+                        1 => bb.read(v),
+                        _ => bb.write(v),
+                    }
+                }
+            });
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full fencing after every initiation is always race-free — the
+    /// analysis must never report a false positive on such a plan.
+    #[test]
+    fn fully_fenced_plans_draw_no_race_diagnostics(
+        segs in prop::collection::vec((0usize..3, 0usize..3), 1..8),
+    ) {
+        let diags = lint(&make_plan(&segs, None)).unwrap();
+        prop_assert!(
+            diags.iter().all(|d| d.analysis != Analysis::Race),
+            "false positive on a fully fenced plan: {diags:?}"
+        );
+        prop_assert!(diags.iter().all(|d| !d.deadlock));
+    }
+
+    /// Every segment's trailing access conflicts with its own op, so
+    /// every fence is load-bearing: deleting any one must surface at
+    /// least one race error.
+    #[test]
+    fn deleting_one_needed_fence_draws_a_race(
+        segs in prop::collection::vec((0usize..3, 0usize..3), 1..8),
+        pick in any::<u64>(),
+    ) {
+        let k = (pick as usize) % segs.len();
+        let diags = lint(&make_plan(&segs, Some(k))).unwrap();
+        prop_assert!(
+            diags.iter().any(|d| d.is_error() && d.analysis == Analysis::Race),
+            "missed the race after deleting fence {k} of {segs:?}: {diags:?}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Closing the runtime → static-analyzer loop: run the real threaded
+//! runtime with a [`TraceRecorder`] installed, reconstruct a `caf-lint`
+//! plan from the capture, and lint it. The public API only ships active
+//! messages under a finish, so every reconstructed plan must be free of
+//! error diagnostics — in particular free of finish-coverage leaks.
+
+use std::sync::Arc;
+
+use caf_core::config::RuntimeConfig;
+use caf_core::trace::TraceRecorder;
+use caf_lint::{lint, plan_from_trace};
+use caf_runtime::Runtime;
+
+fn traced_config() -> (RuntimeConfig, Arc<TraceRecorder>) {
+    let rec = Arc::new(TraceRecorder::new());
+    let cfg = RuntimeConfig { trace: Some(rec.clone()), ..RuntimeConfig::testing() };
+    (cfg, rec)
+}
+
+#[test]
+fn single_finish_capture_lints_clean() {
+    let (cfg, rec) = traced_config();
+    Runtime::launch(3, cfg, |img| {
+        let w = img.world();
+        let cells = img.coarray(&w, 1, 0u64);
+        img.finish(&w, |img| {
+            if img.id().index() == 0 {
+                let c = cells.clone();
+                img.spawn(img.image(1), move |p| {
+                    c.with_local(p.id(), |seg| seg[0] = 7);
+                });
+            }
+        });
+    });
+    let events = rec.snapshot();
+    assert!(!events.is_empty(), "the traced finish recorded nothing");
+    let plan = plan_from_trace(&events);
+    assert_eq!(plan.images, 3);
+    let diags = lint(&plan).unwrap();
+    assert!(diags.iter().all(|d| !d.is_error()), "reconstructed plan drew errors: {diags:?}");
+    // At least one finish-covered spawn was reconstructed.
+    assert!(!plan.blocks.is_empty(), "no spawn structure recovered from the trace");
+}
+
+#[test]
+fn transitive_spawn_capture_lints_clean() {
+    // The Fig. 5 shape (p → q → r): the relayed spawn is recorded under
+    // the same dynamic finish, so the reconstruction keeps it covered.
+    let (cfg, rec) = traced_config();
+    Runtime::launch(3, cfg, |img| {
+        let w = img.world();
+        img.finish(&w, |img| {
+            if img.id().index() == 0 {
+                img.spawn(img.image(1), move |q| {
+                    q.spawn(q.image(2), move |_r| {});
+                });
+            }
+        });
+    });
+    let plan = plan_from_trace(&rec.snapshot());
+    let diags = lint(&plan).unwrap();
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    // Both hops appear as spawns (image 0's and image 1's).
+    let senders: Vec<Option<usize>> = plan.blocks.iter().map(|b| b.image).collect();
+    assert!(senders.contains(&Some(0)) && senders.contains(&Some(1)), "{senders:?}");
+}

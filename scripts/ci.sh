@@ -23,6 +23,35 @@ cargo build --release -p caf-check --quiet
 ./target/release/caf-check suite --images 3 --depth 2 --crash-scenarios \
     --max-states 200000 --quiet
 
+echo "== caf-lint corpus (fixtures caught, goldens exact, examples clean) =="
+cargo build --release -p caf-lint --quiet
+lint_golden_tier() {
+    local dir="$1"
+    local plan golden got want_exit got_exit
+    for plan in "$dir"/*.plan; do
+        golden="${plan%.plan}.golden"
+        [[ -f "$golden" ]] || { echo "missing golden for $plan"; exit 1; }
+        # Fixtures whose goldens carry errors must exit 1; clean/warning
+        # plans must exit 0.
+        if grep -q '^error\[' "$golden"; then want_exit=1; else want_exit=0; fi
+        got_exit=0
+        got="$(./target/release/caf-lint check "$plan")" || got_exit=$?
+        if [[ "$got_exit" -ne "$want_exit" ]]; then
+            echo "$plan: exit $got_exit, expected $want_exit"; exit 1
+        fi
+        if ! diff <(printf '%s\n' "$got") "$golden" >/dev/null; then
+            echo "$plan: output drifted from $golden:"
+            diff <(printf '%s\n' "$got") "$golden" || true
+            exit 1
+        fi
+    done
+}
+lint_golden_tier tests/fixtures/lints
+lint_golden_tier examples/plans
+
+echo "== caf-lint ⇄ caf-check differential (every diagnostic realizable) =="
+./target/release/caf-check plan-diff tests/fixtures/lints/*.plan examples/plans/*.plan
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -25,4 +25,11 @@ cargo build --release -p caf-check --quiet
 ./target/release/caf-check suite --images 5 --depth 4 --crash-scenarios --quiet
 ./target/release/caf-check mutate >/dev/null
 
+echo "== static/dynamic plan differential (full corpus, uncapped) =="
+# Every caf-lint race/deadlock diagnostic on the shipped corpus must be
+# realizable in some explored interleaving, and the clean example plans
+# must be counterexample-free. Numbers feed EXPERIMENTS.md §9.
+./target/release/caf-check plan-diff --max-states 1000000 \
+    tests/fixtures/lints/*.plan examples/plans/*.plan
+
 echo "Soak passed ($reps run(s))."
